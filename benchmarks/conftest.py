@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the experiment once (``benchmark.pedantic`` with a single round — these
+are reproduction campaigns, not microbenchmarks), prints the
+paper-shaped rows, and asserts the qualitative result (who wins, by
+roughly what factor, where crossovers fall).
+
+Scale: the default sizes keep the whole suite in the minutes range on
+a laptop. Set ``REPRO_BENCH_FULL=1`` for the full 11-workload,
+3-setpoint grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the campaign exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Workload subset for system-level benches (full grid via env)."""
+    if full_scale():
+        return (
+            "ali.A", "ali.B", "ali.C", "ali.D", "ali.E",
+            "rsrch", "stg", "hm", "prxy", "proj", "usr",
+        )
+    return ("ali.A", "ali.B", "hm", "prxy", "usr")
+
+
+@pytest.fixture(scope="session")
+def bench_requests():
+    return 4000 if full_scale() else 900

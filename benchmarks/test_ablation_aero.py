@@ -1,0 +1,117 @@
+"""Ablation: which of AERO's three ideas buys what.
+
+Not a paper figure — an ablation of the design choices DESIGN.md calls
+out, isolating the contribution of each mechanism to erase-stress
+reduction at the wear points of the evaluation:
+
+* FELP alone (no shallow probe, conservative table only);
+* FELP + shallow erasure (= AEROcons);
+* FELP + shallow + ECC-margin aggression (= full AERO).
+
+Expected structure: shallow erasure dominates at low PEC (single-loop
+erases are the common case), FELP's multi-loop truncation grows with
+PEC, and the aggressive margin adds a roughly constant extra saving on
+top until NISPE reaches 5 (where Table 1's t2 == t1).
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.aero import AeroEraseScheme
+from repro.erase.ispe import BaselineIspeScheme
+from repro.nand.block import Block
+from repro.nand.chip_types import TLC_3D_48L
+from repro.nand.geometry import BlockAddress
+from repro.rng import make_rng
+
+PEC_POINTS = (250, 1000, 2500, 4500)
+BLOCKS = 60
+
+
+def _fresh_block(index: int, pec: int) -> Block:
+    block = Block(BlockAddress(0, 0, 0, index % 997), TLC_3D_48L, 16, seed=0xAB1)
+    block.wear.age_kilocycles = pec / 1000.0
+    block.wear.pec = pec
+    return block
+
+
+def _campaign():
+    variants = {
+        "baseline": lambda: BaselineIspeScheme(TLC_3D_48L),
+        "felp_only": lambda: AeroEraseScheme(TLC_3D_48L, aggressive=False),
+        "felp+shallow": lambda: AeroEraseScheme(TLC_3D_48L, aggressive=False),
+        "full_aero": lambda: AeroEraseScheme(TLC_3D_48L, aggressive=True),
+    }
+    results = {}
+    for name, factory in variants.items():
+        rng = make_rng(0xAB1E)
+        scheme = factory()
+        for pec in PEC_POINTS:
+            damages, latencies = [], []
+            for index in range(BLOCKS):
+                block = _fresh_block(index, pec)
+                if isinstance(scheme, AeroEraseScheme):
+                    use_shallow = name != "felp_only"
+                    result = scheme.erase(block, rng, use_shallow=use_shallow)
+                else:
+                    result = scheme.erase(block, rng)
+                damages.append(result.damage)
+                latencies.append(result.latency_us)
+            results[(name, pec)] = (
+                float(np.mean(damages)),
+                float(np.mean(latencies)) / 1000.0,
+            )
+    return results
+
+
+def test_ablation_aero_mechanisms(once):
+    results = once(_campaign)
+
+    print()
+    rows = []
+    for pec in PEC_POINTS:
+        base_damage, base_latency = results[("baseline", pec)]
+        for name in ("felp_only", "felp+shallow", "full_aero"):
+            damage, latency = results[(name, pec)]
+            rows.append(
+                [
+                    pec,
+                    name,
+                    f"{latency:.2f}",
+                    f"{latency / base_latency:.2f}",
+                    f"{damage / base_damage:.2f}",
+                ]
+            )
+    print(
+        format_table(
+            ["PEC", "variant", "tBERS ms", "latency vs base", "damage vs base"],
+            rows,
+            title="Ablation — erase latency / stress per AERO mechanism",
+        )
+    )
+
+    for pec in PEC_POINTS:
+        base_damage, _ = results[("baseline", pec)]
+        felp, _ = results[("felp_only", pec)][0], None
+        shallow = results[("felp+shallow", pec)][0]
+        full = results[("full_aero", pec)][0]
+        # Each mechanism helps (weakly) on top of the previous one.
+        assert felp <= base_damage * 1.001
+        assert shallow <= felp * 1.02
+        assert full <= shallow * 1.02
+    # Shallow erasure is the low-PEC lever: at 250 PEC it clearly beats
+    # FELP-only (which cannot shorten a single-loop erase at all).
+    assert (
+        results[("felp+shallow", 250)][0]
+        < results[("felp_only", 250)][0] * 0.9
+    )
+    # FELP's own contribution appears once erases are multi-loop.
+    assert (
+        results[("felp_only", 2500)][0]
+        < results[("baseline", 2500)][0] * 0.95
+    )
+    # Aggression adds measurable savings in the mid-life band.
+    assert (
+        results[("full_aero", 2500)][0]
+        < results[("felp+shallow", 2500)][0] * 0.98
+    )

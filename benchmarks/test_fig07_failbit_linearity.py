@@ -1,0 +1,52 @@
+"""Figure 7: fail-bit count vs accumulated tEP in the final erase loop.
+
+Paper observations reproduced here:
+* the fail-bit count falls almost linearly with applied pulse time —
+  the same slope delta (~5,000 on the tested chips) for every NISPE;
+* with one 0.5 ms pulse left, the count sits consistently at a small
+  value gamma << delta.
+"""
+
+from repro.analysis.tables import format_table
+from repro.characterization import TestPlatform, failbit_linearity
+from repro.nand.chip_types import TLC_3D_48L
+
+
+def test_fig07_failbit_linearity(once):
+    platform = TestPlatform(TLC_3D_48L, chips=12, blocks_per_chip=14, seed=0xF07)
+    result = once(
+        failbit_linearity,
+        platform,
+        pec_points=(2000, 3000, 4000, 5000),
+        blocks_per_point=120,
+    )
+
+    rows = [
+        [nispe, fit.gamma, fit.delta, fit.r_squared, fit.samples]
+        for nispe, fit in sorted(result.fits.items())
+    ]
+    rows.append(["all", result.overall.gamma, result.overall.delta,
+                 result.overall.r_squared, result.overall.samples])
+    print()
+    print(
+        format_table(
+            ["NISPE", "gamma", "delta", "R^2", "blocks"],
+            rows,
+            title="Figure 7 — fitted fail-bit regularities per loop count",
+        )
+    )
+    for nispe, series in sorted(result.series.items()):
+        line = ", ".join(f"{t:.1f}ms:{int(v)}" for t, v in series[:7])
+        print(f"  max F(N) vs accumulated tEP (N={nispe}): {line}")
+
+    profile = platform.profile
+    # Linear slope ~delta, consistent across NISPE (the paper's key point).
+    assert abs(result.overall.delta - profile.delta) / profile.delta < 0.15
+    assert result.overall.r_squared > 0.9
+    deltas = [fit.delta for fit in result.fits.values()]
+    assert max(deltas) / min(deltas) < 1.35
+    # Gamma floor is small and consistent.
+    assert abs(result.overall.gamma - profile.gamma) / profile.gamma < 0.3
+    gammas = [fit.gamma for fit in result.fits.values()]
+    assert max(gammas) / max(1.0, min(gammas)) < 1.6
+    assert result.overall.gamma < 0.2 * result.overall.delta  # gamma << delta

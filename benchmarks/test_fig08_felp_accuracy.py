@@ -1,0 +1,54 @@
+"""Figure 8: the fail-bit count conservatively predicts mtEP.
+
+Paper observations reproduced here:
+* within each fail-bit range, a majority (>= ~66 %) of blocks need the
+  same (maximal) final-loop latency; the rest need less;
+* no block needs more than the range's Table 1 prediction — FELP is
+  conservative over the whole characterized population.
+"""
+
+from repro.analysis.tables import format_table
+from repro.characterization import TestPlatform, felp_accuracy
+from repro.nand.chip_types import TLC_3D_48L
+
+
+def test_fig08_felp_accuracy(once):
+    platform = TestPlatform(TLC_3D_48L, chips=12, blocks_per_chip=14, seed=0xF08)
+    result = once(
+        felp_accuracy,
+        platform,
+        pec_points=(1000, 2000, 3000, 4000, 5000),
+        blocks_per_point=150,
+    )
+
+    rows = []
+    for nispe in sorted(result.joint):
+        buckets = result.joint[nispe]
+        for range_index in sorted(buckets):
+            counts = buckets[range_index]
+            total = sum(counts.values())
+            mode_pulses, mode_count = max(counts.items(), key=lambda kv: kv[1])
+            rows.append(
+                [
+                    nispe,
+                    range_index,
+                    total,
+                    f"{mode_pulses * 0.5:.1f} ms",
+                    f"{mode_count / total:.0%}",
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["NISPE", "F-range", "blocks", "modal mtEP", "modal share"],
+            rows,
+            title="Figure 8 — P(mtEP(N) | fail-bit range of F(N-1))",
+        )
+    )
+    coverage = result.conservative_coverage(platform.profile)
+    print(f"  Table-1 conservative coverage: {coverage:.2%} of {len(result.samples)} samples")
+
+    assert len(result.samples) > 300
+    for nispe in result.joint:
+        assert result.majority_fraction(nispe) >= 0.55   # paper: 66-71 %
+    assert coverage >= 0.995                              # conservative

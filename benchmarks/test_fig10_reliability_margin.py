@@ -1,0 +1,66 @@
+"""Figure 10: reliability margin for aggressive tEP reduction.
+
+Paper observations reproduced here:
+* completely erased blocks keep a positive margin to the 63-bit RBER
+  requirement at every loop count (up to ~47 bits at NISPE = 1);
+* skipping the final loop stays within the requirement exactly in the
+  paper's safe regions — C1 (NISPE <= 3 with F < delta, our (3,1) cell
+  sitting a few bits over, see EXPERIMENTS.md) and C2 (NISPE = 4 with
+  F < gamma) — and clearly violates it everywhere deeper.
+"""
+
+from repro.analysis.tables import format_table
+from repro.characterization import TestPlatform, reliability_margin
+from repro.nand.chip_types import TLC_3D_48L
+
+
+def test_fig10_reliability_margin(once):
+    platform = TestPlatform(TLC_3D_48L, chips=14, blocks_per_chip=14, seed=0xF10)
+    result = once(
+        reliability_margin,
+        platform,
+        pec_points=(500, 1500, 2500, 3500, 4500),
+        blocks_per_point=140,
+    )
+
+    print()
+    rows_a = [
+        [nispe, value, result.requirement - value]
+        for nispe, value in sorted(result.complete_max.items())
+    ]
+    print(
+        format_table(
+            ["NISPE", "max MRBER", "margin"],
+            rows_a,
+            title=f"Figure 10a — complete erasure (requirement {result.requirement}, "
+            f"ECC capability {result.capability})",
+        )
+    )
+    rows_b = [
+        [nispe, range_index, value, "SAFE" if result.safe(nispe, range_index) else "unsafe"]
+        for (nispe, range_index), value in sorted(result.insufficient_max.items())
+        if range_index <= 4
+    ]
+    print(
+        format_table(
+            ["NISPE", "F-range", "max MRBER", "verdict"],
+            rows_b,
+            title="Figure 10b — insufficient erasure (final loop skipped)",
+        )
+    )
+
+    # Complete erasure: monotone in N, margin up to ~47 bits at N=1.
+    complete = [result.complete_max[n] for n in sorted(result.complete_max)]
+    assert complete == sorted(complete)
+    assert 25 <= result.requirement - result.complete_max[1] <= 50
+    assert result.complete_max[1] <= result.requirement
+
+    safe = set(result.safe_conditions())
+    # C1 core + C2.
+    for condition in [(2, 0), (2, 1), (3, 0), (4, 0)]:
+        assert condition in safe
+    # (3,1) is the knife-edge cell: within a few bits of the requirement.
+    assert result.insufficient_max[(3, 1)] <= result.requirement + 5
+    # Clearly unsafe regions stay unsafe.
+    for condition in [(2, 3), (3, 3), (4, 2), (5, 1), (5, 2)]:
+        assert condition not in safe

@@ -1,0 +1,76 @@
+"""Figure 11: AERO's regularities on other chip types (2D TLC, 3D MLC).
+
+Paper observations reproduced here:
+* gamma/delta differ across chip families but are consistent *within*
+  each family across loop counts (the linear fail-bit law holds);
+* the insufficient-erasure reliability trend mirrors the 3D TLC chips,
+  so the same EPT-construction methodology applies unchanged.
+"""
+
+from repro.analysis.tables import format_table
+from repro.characterization import (
+    TestPlatform,
+    failbit_linearity,
+    reliability_margin,
+)
+from repro.nand.chip_types import MLC_3D_48L, TLC_2D_2XNM
+
+
+def test_fig11_other_chip_types(once):
+    def campaign():
+        results = {}
+        for profile in (TLC_2D_2XNM, MLC_3D_48L):
+            platform = TestPlatform(profile, chips=10, blocks_per_chip=12, seed=0xF11)
+            fit = failbit_linearity(
+                platform, pec_points=(2000, 3000, 4000), blocks_per_point=90
+            )
+            margin = reliability_margin(
+                platform, pec_points=(500, 1500, 2500, 3500), blocks_per_point=90
+            )
+            results[profile.name] = (profile, fit, margin)
+        return results
+
+    results = once(campaign)
+
+    print()
+    rows = []
+    for name, (profile, fit, margin) in results.items():
+        rows.append(
+            [
+                name,
+                profile.gamma,
+                fit.overall.gamma,
+                profile.delta,
+                fit.overall.delta,
+                fit.overall.r_squared,
+            ]
+        )
+    print(
+        format_table(
+            ["chip", "gamma(true)", "gamma(fit)", "delta(true)", "delta(fit)", "R^2"],
+            rows,
+            title="Figure 11a — fail-bit regularities across chip types",
+        )
+    )
+    for name, (profile, fit, margin) in results.items():
+        safe = margin.safe_conditions()
+        print(f"  {name}: safe under-erase conditions {safe}")
+
+    for name, (profile, fit, margin) in results.items():
+        # The linear law holds on every family.
+        assert abs(fit.overall.delta - profile.delta) / profile.delta < 0.2
+        assert fit.overall.r_squared > 0.85
+        assert fit.overall.gamma < 0.25 * fit.overall.delta
+        # Per-NISPE consistency within the family (paper Figure 11a).
+        deltas = [f.delta for f in fit.fits.values()]
+        assert max(deltas) / min(deltas) < 1.4
+        # Same qualitative margin structure: shallow under-erasure at
+        # low loop counts is safe, deep under-erasure is not.
+        safe = set(margin.safe_conditions())
+        assert (2, 0) in safe
+        assert (2, 1) in safe
+        deep = [key for key in margin.insufficient_max if key[1] >= 3]
+        assert all(key not in safe for key in deep)
+    # Families differ in their absolute regularities (process-specific).
+    fits = [fit.overall.delta for _, fit, __ in results.values()]
+    assert abs(fits[0] - fits[1]) > 100

@@ -1,0 +1,81 @@
+"""Figure 15: interaction between AERO and erase suspension.
+
+Paper results reproduced here:
+* AERO helps with suspension *disabled* even more than with it enabled
+  (without suspension a read waits out the whole in-flight erase, so
+  shorter erases matter more);
+* suspension itself is a large tail-latency lever, and AERO composes
+  with it rather than replacing it.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness import run_grid
+
+SCHEMES = ("baseline", "aero_cons", "aero")
+PEC_POINTS = (500, 2500, 4500)
+TAIL_PCT = 99.0
+
+
+def test_fig15_erase_suspension(once, bench_workloads, bench_requests):
+    workloads = bench_workloads[:3]
+
+    def campaign():
+        with_suspend = run_grid(
+            schemes=SCHEMES,
+            pec_points=PEC_POINTS,
+            workloads=workloads,
+            requests=bench_requests,
+            erase_suspension=True,
+            seed=0xF15,
+        )
+        without = run_grid(
+            schemes=SCHEMES,
+            pec_points=PEC_POINTS,
+            workloads=workloads,
+            requests=bench_requests,
+            erase_suspension=False,
+            seed=0xF15,
+        )
+        return with_suspend, without
+
+    with_suspend, without = once(campaign)
+
+    print()
+    rows = []
+    reductions = {}
+    for pec in PEC_POINTS:
+        on = with_suspend.geomean_normalized(lambda r: r.read_tail(TAIL_PCT), pec)
+        off = without.geomean_normalized(lambda r: r.read_tail(TAIL_PCT), pec)
+        reductions[pec] = (on, off)
+        for scheme in SCHEMES:
+            rows.append([pec, scheme, f"{on[scheme]:.2f}", f"{off[scheme]:.2f}"])
+    print(
+        format_table(
+            ["PEC", "scheme", "suspension ON", "suspension OFF"],
+            rows,
+            title=f"Figure 15 — p{TAIL_PCT:g} read tail normalized to Baseline "
+            "(per suspension mode)",
+        )
+    )
+    suspensions = sum(
+        cell.report.erase_suspensions for cell in with_suspend.cells
+    )
+    print(f"  erase suspensions during the ON campaign: {suspensions}")
+
+    assert suspensions > 0
+    assert all(cell.report.erase_suspensions == 0 for cell in without.cells)
+    for pec in PEC_POINTS:
+        on, off = reductions[pec]
+        # AERO wins in both modes.
+        assert on["aero"] < 1.0
+        assert off["aero"] < 1.0
+    # AERO's average win is at least as large without suspension.
+    avg_on = sum(reductions[p][0]["aero"] for p in PEC_POINTS) / 3
+    avg_off = sum(reductions[p][1]["aero"] for p in PEC_POINTS) / 3
+    assert avg_off <= avg_on + 0.05
+    # Suspension itself reduces the absolute Baseline tail.
+    for pec in PEC_POINTS:
+        for workload in with_suspend.workloads():
+            tail_on = with_suspend.report("baseline", pec, workload).read_tail(TAIL_PCT)
+            tail_off = without.report("baseline", pec, workload).read_tail(TAIL_PCT)
+            assert tail_on <= tail_off * 1.10

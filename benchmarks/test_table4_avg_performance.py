@@ -1,0 +1,77 @@
+"""Table 4: average I/O performance (read/write latency, IOPS).
+
+Paper results reproduced here:
+* every scheme except DPES keeps Baseline-level average throughput
+  (IOPS ~1.00) — erases are rare relative to reads/writes;
+* DPES pays its 10-30 % tPROG penalty while voltage scaling is active
+  (PEC <= 3K): average write latency rises and IOPS dips; at 4.5K PEC
+  (scaling disabled) it converges back to Baseline exactly.
+
+Scale note: on our bench-sized device (few chips, intense GC) erases
+are a much larger share of chip busy time than on the paper's 1 TB
+drive, so AERO's shorter erases visibly improve even *average* read
+latency at low PEC; on the full-size configuration that effect decays
+toward the paper's ~100 % values. The assertions bound the means
+rather than pinning them to 1.0.
+"""
+
+from repro.analysis.tables import format_table
+from repro.harness import run_grid
+
+SCHEMES = ("baseline", "dpes", "aero_cons", "aero")
+PEC_POINTS = (500, 2500, 4500)
+
+
+def test_table4_average_performance(once, bench_workloads, bench_requests):
+    grid = once(
+        run_grid,
+        schemes=SCHEMES,
+        pec_points=PEC_POINTS,
+        workloads=bench_workloads[:4],
+        requests=bench_requests,
+        seed=0x7A4,
+    )
+
+    print()
+    rows = []
+    metrics = {}
+    for pec in PEC_POINTS:
+        read = grid.geomean_normalized(lambda r: r.reads.mean_us or 1.0, pec)
+        write = grid.geomean_normalized(lambda r: r.writes.mean_us or 1.0, pec)
+        iops = grid.geomean_normalized(lambda r: r.iops, pec)
+        metrics[pec] = (read, write, iops)
+        for scheme in SCHEMES:
+            rows.append(
+                [
+                    pec,
+                    scheme,
+                    f"{read[scheme]:.3f}",
+                    f"{write[scheme]:.3f}",
+                    f"{iops[scheme]:.3f}",
+                ]
+            )
+    print(
+        format_table(
+            ["PEC", "scheme", "norm read", "norm write", "norm IOPS"],
+            rows,
+            title="Table 4 — average performance normalized to Baseline",
+        )
+    )
+
+    for pec in PEC_POINTS:
+        read, write, iops = metrics[pec]
+        # AERO/AEROcons never *hurt* average performance, and their
+        # throughput matches Baseline (paper: 99.6-100.4 %). Bench
+        # scale lets them help the read mean at low PEC (see note).
+        for scheme in ("aero", "aero_cons"):
+            assert 0.65 <= read[scheme] <= 1.10
+            assert 0.75 <= write[scheme] <= 1.10
+            assert 0.95 <= iops[scheme] <= 1.10
+    # DPES write penalty while active (paper: +10.8 % / +35.6 %).
+    _, write_05, _ = metrics[500]
+    _, write_25, _ = metrics[2500]
+    _, write_45, _ = metrics[4500]
+    assert write_05["dpes"] >= 1.04
+    assert write_25["dpes"] >= write_05["dpes"]
+    # Back to Baseline once scaling turns off.
+    assert 0.95 <= write_45["dpes"] <= 1.05

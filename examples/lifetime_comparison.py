@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Figure 13 end to end: lifetime of the five erase schemes.
+
+Cycles five block sets — one per scheme — to failure and prints the
+average-MRBER trajectories and lifetimes, the paper's headline lifetime
+result (AERO +43 %, AEROcons +30 %, DPES +26 %, i-ISPE -25 % vs the
+5.3K-cycle Baseline).
+
+Run:  python examples/lifetime_comparison.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.lifetime import compare_schemes
+from repro.nand.chip_types import TLC_3D_48L
+
+
+def main():
+    print("Cycling five 48-block sets to failure (this takes a few seconds)...\n")
+    comparison = compare_schemes(TLC_3D_48L, block_count=48, step=50, seed=1)
+
+    base = comparison.lifetime("baseline")
+    rows = []
+    for key in ("baseline", "iispe", "dpes", "aero_cons", "aero"):
+        curve = comparison.curves[key]
+        rows.append(
+            [
+                key,
+                curve.lifetime_pec,
+                "--" if key == "baseline" else f"{curve.lifetime_pec / base - 1:+.1%}",
+                round(curve.mrber_at(250), 1),
+                round(curve.mrber_at(2000), 1),
+                round(curve.mrber_at(4000), 1),
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "lifetime (PEC)", "vs baseline",
+             "MRBER@0.25K", "MRBER@2K", "MRBER@4K"],
+            rows,
+            title="SSD lifetime under 1-year retention (requirement: 63 bits/KiB)",
+        )
+    )
+    print()
+    print("Reading the table like the paper's Figure 13:")
+    print(" * AERO pays extra raw bit errors up front (aggressive under-")
+    print("   erasure spends the ECC margin) but its gentler erases slow")
+    print("   wear so much that it outlives everything else.")
+    print(" * i-ISPE's loop skipping misfires on 3D chips: erase failures")
+    print("   escalate the voltage ladder and *shorten* lifetime.")
+
+
+if __name__ == "__main__":
+    main()

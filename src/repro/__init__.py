@@ -1,0 +1,91 @@
+"""AERO reproduction: Adaptive Erase Operation for NAND flash SSDs.
+
+A full-system reproduction of Cho et al., *AERO: Adaptive Erase
+Operation for Improving Lifetime and Performance of Modern NAND
+Flash-Based SSDs* (ASPLOS 2024): the AERO mechanism (FELP, shallow
+erasure, ECC-margin-aware aggressive reduction), every comparison
+baseline (ISPE, m-ISPE, i-ISPE, DPES), a calibrated statistical NAND
+device model standing in for the paper's 160 real chips, a page-level
+FTL, and an event-driven multi-channel SSD simulator.
+
+Quick start::
+
+    from repro import SsdSpec, build_ssd
+    from repro.workloads import SyntheticTraceGenerator, profile_by_abbr
+
+    spec = SsdSpec.bench()
+    ssd = build_ssd(spec, "aero", pec_setpoint=500)
+    ssd.precondition()
+    gen = SyntheticTraceGenerator(
+        profile_by_abbr("ali.A"), footprint_bytes=spec.logical_bytes
+    )
+    report = ssd.run_trace(gen.generate(5000))
+    print(report.reads.percentile(99.99))
+"""
+
+from repro.config import GcSpec, SchedulerSpec, SsdSpec
+from repro.core import (
+    AeroEraseScheme,
+    EraseTimingTable,
+    FelpPredictor,
+    ShallowEraseFlags,
+    build_aggressive_table,
+    build_conservative_table,
+    published_aggressive_table,
+    published_conservative_table,
+)
+from repro.erase import (
+    BaselineIspeScheme,
+    DpesScheme,
+    EraseOperationResult,
+    EraseScheme,
+    IntelligentIspeScheme,
+    MIspeScheme,
+)
+from repro.nand import (
+    Block,
+    ChipProfile,
+    MLC_3D_48L,
+    NandChip,
+    NandGeometry,
+    RberModel,
+    TLC_2D_2XNM,
+    TLC_3D_48L,
+)
+from repro.schemes import SCHEME_KEYS, make_scheme
+from repro.ssd import Ssd, build_ssd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AeroEraseScheme",
+    "BaselineIspeScheme",
+    "Block",
+    "ChipProfile",
+    "DpesScheme",
+    "EraseOperationResult",
+    "EraseScheme",
+    "EraseTimingTable",
+    "FelpPredictor",
+    "GcSpec",
+    "IntelligentIspeScheme",
+    "MIspeScheme",
+    "MLC_3D_48L",
+    "NandChip",
+    "NandGeometry",
+    "RberModel",
+    "SCHEME_KEYS",
+    "SchedulerSpec",
+    "ShallowEraseFlags",
+    "Ssd",
+    "SsdSpec",
+    "TLC_2D_2XNM",
+    "TLC_3D_48L",
+    "build_aggressive_table",
+    "build_conservative_table",
+    "build_ssd",
+    "make_scheme",
+    "published_aggressive_table",
+    "published_conservative_table",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Empirical cumulative distribution functions (Figure 4 style)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class Cdf:
+    """Empirical CDF over a sample set."""
+
+    def __init__(self, samples: Sequence[float]):
+        if len(samples) == 0:
+            raise ConfigError("CDF needs at least one sample")
+        self._sorted = np.sort(np.asarray(samples, dtype=float))
+
+    @property
+    def count(self) -> int:
+        return int(self._sorted.size)
+
+    def at(self, value: float) -> float:
+        """Fraction of samples <= value."""
+        return float(np.searchsorted(self._sorted, value, side="right")) / self.count
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile {q} outside [0, 1]")
+        return float(np.quantile(self._sorted, q))
+
+    def points(self, grid: Sequence[float]) -> List[Tuple[float, float]]:
+        """(value, fraction) pairs on a grid — a plottable CDF series."""
+        return [(float(v), self.at(float(v))) for v in grid]
+
+    @property
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._sorted[-1])

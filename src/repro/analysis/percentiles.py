@@ -1,0 +1,36 @@
+"""Percentile utilities for latency analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def exact_percentile(samples: Sequence[float], pct: float) -> float:
+    """Exact percentile by sorting (numpy's linear interpolation).
+
+    Raises on an empty sample set rather than guessing — tail latency
+    of nothing is a bug, not zero.
+    """
+    if len(samples) == 0:
+        raise ConfigError("cannot take a percentile of no samples")
+    if not 0.0 <= pct <= 100.0:
+        raise ConfigError(f"percentile {pct} outside [0, 100]")
+    return float(np.percentile(np.asarray(samples, dtype=float), pct))
+
+
+def tail_summary(
+    samples: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 99.0, 99.9, 99.99, 99.9999),
+) -> Dict[str, float]:
+    """Mean/max plus the requested percentiles."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("cannot summarize no samples")
+    out = {"count": float(arr.size), "mean": float(arr.mean()), "max": float(arr.max())}
+    for pct in percentiles:
+        out[f"p{pct:g}"] = float(np.percentile(arr, pct))
+    return out

@@ -1,0 +1,36 @@
+"""AERO: the paper's primary contribution.
+
+* :mod:`repro.core.ept` - the Erase-timing Parameter Table (Table 1),
+  both the published values and a builder that derives the table from a
+  characterization campaign plus the ECC-capability margin analysis.
+* :mod:`repro.core.felp` - Fail-bit-count-based Erase Latency
+  Prediction: mapping a verify-read's fail-bit count to the next
+  erase-pulse latency.
+* :mod:`repro.core.sef` - Shallow Erasure Flags bitmap.
+* :mod:`repro.core.aero` - the AERO erase scheme (conservative and
+  aggressive modes, shallow erasure, misprediction handling).
+"""
+
+from repro.core.ept import (
+    EraseTimingTable,
+    build_aggressive_table,
+    build_conservative_table,
+    published_aggressive_table,
+    published_conservative_table,
+)
+from repro.core.felp import FelpPredictor, PulsePrediction
+from repro.core.sef import ShallowEraseFlags
+from repro.core.aero import AeroEraseScheme, SHALLOW_PULSES_DEFAULT
+
+__all__ = [
+    "AeroEraseScheme",
+    "EraseTimingTable",
+    "FelpPredictor",
+    "PulsePrediction",
+    "SHALLOW_PULSES_DEFAULT",
+    "ShallowEraseFlags",
+    "build_aggressive_table",
+    "build_conservative_table",
+    "published_aggressive_table",
+    "published_conservative_table",
+]

@@ -1,0 +1,126 @@
+"""FELP: Fail-bit-count-based Erase Latency Prediction.
+
+The predictor is the decision layer between verify-read feedback and
+the next erase-pulse command: given ``F(i-1)``, it chooses the latency
+for ``EP(i)`` from the Erase-timing Parameter Table, falling back to
+the default full-length pulse when the count is above ``FHIGH``
+(no reduction possible, Figure 6a) and flagging aggressive predictions
+so the scheme knows an under-erased verify result is intentional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ept import EraseTimingTable
+from repro.errors import ConfigError
+from repro.nand.chip_types import ChipProfile
+
+
+@dataclass(frozen=True)
+class PulsePrediction:
+    """Outcome of one FELP lookup."""
+
+    #: Loop the prediction is for (EP index, 1-based).
+    loop: int
+    #: Fail-bit count the prediction was based on.
+    fail_bits: int
+    #: Fail-bit range index (profile.failbit_range_index).
+    range_index: int
+    #: Pulse quanta to apply.
+    pulses: int
+    #: True when the pulse count is below the default (a real reduction).
+    reduced: bool
+    #: True when the aggressive (ECC-margin) table produced the value.
+    aggressive: bool
+
+    @property
+    def skipped_entirely(self) -> bool:
+        """True when the loop can be skipped outright (t2 = 0)."""
+        return self.pulses == 0
+
+
+class FelpPredictor:
+    """EPT-backed erase-latency prediction (conservative + aggressive)."""
+
+    def __init__(
+        self,
+        profile: ChipProfile,
+        conservative: EraseTimingTable,
+        aggressive: Optional[EraseTimingTable] = None,
+    ):
+        if conservative.aggressive:
+            raise ConfigError("conservative table flagged aggressive")
+        if aggressive is not None and not aggressive.aggressive:
+            raise ConfigError("aggressive table not flagged aggressive")
+        self.profile = profile
+        self.conservative = conservative
+        self.aggressive = aggressive
+
+    @property
+    def f_pass(self) -> int:
+        return self.profile.f_pass
+
+    @property
+    def f_high(self) -> int:
+        return self.profile.f_high
+
+    def can_reduce(self, fail_bits: int) -> bool:
+        """Whether any tEP reduction is possible (FPASS < F <= FHIGH)."""
+        return self.f_pass < fail_bits <= self.f_high
+
+    def predict(
+        self,
+        loop: int,
+        fail_bits: int,
+        use_margin: bool = False,
+    ) -> PulsePrediction:
+        """Predict the pulse count for ``EP(loop)`` from ``F(loop-1)``.
+
+        Above ``FHIGH`` the default full pulse is used (no reduction
+        room); between ``FPASS`` and ``FHIGH`` the EPT supplies the
+        near-optimal latency. ``use_margin`` selects the aggressive
+        table when one is available.
+        """
+        default = self.conservative.default_pulses
+        range_index = self.profile.failbit_range_index(fail_bits)
+        if fail_bits > self.f_high:
+            return PulsePrediction(
+                loop=loop,
+                fail_bits=fail_bits,
+                range_index=range_index,
+                pulses=default,
+                reduced=False,
+                aggressive=False,
+            )
+        table = self.conservative
+        aggressive = False
+        if use_margin and self.aggressive is not None:
+            table = self.aggressive
+            aggressive = True
+        pulses = table.lookup_pulses(self.profile, loop, fail_bits)
+        conservative_pulses = self.conservative.lookup_pulses(
+            self.profile, loop, fail_bits
+        )
+        # An aggressive entry equal to the conservative one is not an
+        # intentional under-erase (e.g. Table 1 row 5: t2 == t1).
+        if aggressive and pulses == conservative_pulses:
+            aggressive = False
+        return PulsePrediction(
+            loop=loop,
+            fail_bits=fail_bits,
+            range_index=range_index,
+            pulses=pulses,
+            reduced=pulses < default,
+            aggressive=aggressive,
+        )
+
+    def acceptance_threshold(self) -> int:
+        """Max residual fail bits an aggressive erase may leave behind.
+
+        The aggressive table under-erases by at most two pulse quanta,
+        so the residual count should not exceed ~``gamma + 1.6 delta``;
+        anything above signals a misprediction the scheme must repair.
+        """
+        return int(self.profile.gamma + 1.6 * self.profile.delta)

@@ -1,0 +1,6 @@
+"""ECC substrate: LDPC-style capability model and read-retry."""
+
+from repro.ecc.ldpc import DecodeResult, EccEngine
+from repro.ecc.read_retry import ReadRetryPolicy, ReadRetryResult
+
+__all__ = ["DecodeResult", "EccEngine", "ReadRetryPolicy", "ReadRetryResult"]

@@ -1,0 +1,72 @@
+"""LDPC-style ECC capability model.
+
+Modern SSDs protect each ~1 KiB codeword with LDPC codes able to
+correct several tens of raw bit errors (72 per KiB on the paper's
+configuration). We model decoding at the capability level: a codeword
+whose raw bit-error count is within capability decodes in one
+hard-decision pass (latency hidden under sensing/transfer); above
+capability, read-retry (see :mod:`repro.ecc.read_retry`) re-senses with
+adjusted VREF. The gap between capability and typical error counts is
+the *ECC-capability margin* AERO's aggressive mode spends (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.nand.chip_types import EccSpec
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    success: bool
+    raw_bit_errors: float
+    latency_us: float
+    #: Capability minus raw errors (negative on decode failure).
+    margin_bits: float
+
+
+class EccEngine:
+    """Capability-level LDPC model for one codeword geometry."""
+
+    def __init__(self, spec: EccSpec):
+        if spec.capability_bits_per_kib <= 0:
+            raise ConfigError("ECC capability must be positive")
+        self.spec = spec
+
+    @property
+    def capability(self) -> int:
+        """Correctable raw bit errors per codeword."""
+        return self.spec.capability_bits_per_kib
+
+    @property
+    def requirement(self) -> int:
+        """RBER requirement including the sampling-error safety margin."""
+        return self.spec.requirement_bits_per_kib
+
+    def correctable(self, raw_bit_errors: float) -> bool:
+        """Whether a hard-decision decode succeeds."""
+        return raw_bit_errors <= self.capability
+
+    def margin(self, raw_bit_errors: float) -> float:
+        """ECC-capability margin for a codeword (paper footnote 1)."""
+        return self.capability - raw_bit_errors
+
+    def decode(self, raw_bit_errors: float) -> DecodeResult:
+        """Decode one codeword at the given raw error count."""
+        if raw_bit_errors < 0:
+            raise ConfigError("raw bit errors must be non-negative")
+        success = self.correctable(raw_bit_errors)
+        return DecodeResult(
+            success=success,
+            raw_bit_errors=raw_bit_errors,
+            latency_us=self.spec.decode_latency_us,
+            margin_bits=self.margin(raw_bit_errors),
+        )
+
+    def meets_requirement(self, raw_bit_errors: float) -> bool:
+        """Whether the error count satisfies the lifetime requirement."""
+        return raw_bit_errors <= self.requirement

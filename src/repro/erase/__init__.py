@@ -1,0 +1,30 @@
+"""Erase scheme zoo: Baseline ISPE, m-ISPE, i-ISPE, DPES, and helpers.
+
+AERO itself lives in :mod:`repro.core`; this package holds the scheme
+interface, the comparison baselines from the paper's evaluation
+(Section 7.1), and erase-suspension support.
+"""
+
+from repro.erase.scheme import (
+    EraseOperationResult,
+    EraseScheme,
+    EraseSegment,
+    SegmentKind,
+)
+from repro.erase.ispe import BaselineIspeScheme
+from repro.erase.mispe import MIspeScheme
+from repro.erase.iispe import IntelligentIspeScheme
+from repro.erase.dpes import DpesScheme
+from repro.erase.suspension import SegmentCursor
+
+__all__ = [
+    "BaselineIspeScheme",
+    "DpesScheme",
+    "EraseOperationResult",
+    "EraseScheme",
+    "EraseSegment",
+    "IntelligentIspeScheme",
+    "MIspeScheme",
+    "SegmentCursor",
+    "SegmentKind",
+]

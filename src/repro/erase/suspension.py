@@ -1,0 +1,139 @@
+"""Erase suspension support: replaying timed segments with interrupts.
+
+The paper's simulator services user I/O with priority over SSD-internal
+operations, suspending an ongoing erase (Kim et al., ATC'19 [13]). The
+erase *physics* in this library resolves instantly when the scheme
+runs; the SSD simulator then replays the operation's timed segments on
+the event clock. :class:`SegmentCursor` is that replay: it tracks how
+much of the operation has elapsed, supports suspending at any instant
+(pause mid-pulse, charge the ramp-down/up overhead on resume), and
+reports when the operation finishes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.erase.scheme import EraseOperationResult, EraseSegment
+
+
+class SegmentCursor:
+    """Replays an erase operation's segments with suspend/resume.
+
+    The cursor is a pure time-accounting object: it never touches block
+    state (already mutated). The SSD scheduler drives it with absolute
+    simulator timestamps.
+    """
+
+    def __init__(
+        self,
+        result: EraseOperationResult,
+        suspend_overhead_us: float = 40.0,
+    ):
+        self.result = result
+        self.suspend_overhead_us = suspend_overhead_us
+        self._segments: List[EraseSegment] = list(result.segments)
+        self._segment_index = 0
+        self._consumed_in_segment = 0.0
+        self._suspended = False
+        self._pending_overhead = 0.0
+        self.suspend_count = 0
+        self.total_overhead_us = 0.0
+
+    # --- queries ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True when every segment has fully elapsed."""
+        return self._segment_index >= len(self._segments)
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    def remaining_us(self) -> float:
+        """Time still needed to finish (excludes future suspensions)."""
+        remaining = self._pending_overhead
+        for index in range(self._segment_index, len(self._segments)):
+            duration = self._segments[index].duration_us
+            if index == self._segment_index:
+                duration -= self._consumed_in_segment
+            remaining += duration
+        return remaining
+
+    def time_to_segment_boundary(self) -> float:
+        """Run time until the current segment completes.
+
+        Practical erase suspension can only take effect at a pulse /
+        verify-read boundary (an in-flight pulse must finish to avoid
+        partially-stressed cells); pending ramp overhead counts toward
+        the boundary.
+        """
+        if self.finished:
+            return 0.0
+        boundary = self._pending_overhead
+        boundary += (
+            self._segments[self._segment_index].duration_us
+            - self._consumed_in_segment
+        )
+        return boundary
+
+    # --- driving ------------------------------------------------------------
+
+    def advance(self, elapsed_us: float) -> float:
+        """Consume up to ``elapsed_us`` of run time; returns time used.
+
+        The cursor must be running (not suspended). The returned value
+        is less than ``elapsed_us`` only when the operation finishes
+        early.
+        """
+        if self._suspended:
+            raise SimulationError("cannot advance a suspended operation")
+        if elapsed_us < 0:
+            raise SimulationError("cannot advance by negative time")
+        used = 0.0
+        budget = elapsed_us
+        if self._pending_overhead > 0.0:
+            step = min(self._pending_overhead, budget)
+            self._pending_overhead -= step
+            used += step
+            budget -= step
+        while budget > 1e-12 and not self.finished:
+            segment = self._segments[self._segment_index]
+            left_in_segment = segment.duration_us - self._consumed_in_segment
+            step = min(left_in_segment, budget)
+            self._consumed_in_segment += step
+            used += step
+            budget -= step
+            if self._consumed_in_segment >= segment.duration_us - 1e-12:
+                self._segment_index += 1
+                self._consumed_in_segment = 0.0
+        return used
+
+    def suspend(self) -> None:
+        """Pause the operation immediately (mid-pulse allowed).
+
+        Resume pays ``suspend_overhead_us`` of voltage ramping before
+        useful progress continues (practical erase suspension).
+        """
+        if self.finished:
+            raise SimulationError("cannot suspend a finished operation")
+        if self._suspended:
+            raise SimulationError("operation already suspended")
+        self._suspended = True
+        self.suspend_count += 1
+
+    def resume(self) -> None:
+        """Resume after a suspension, charging the ramp overhead."""
+        if not self._suspended:
+            raise SimulationError("operation is not suspended")
+        self._suspended = False
+        self._pending_overhead += self.suspend_overhead_us
+        self.total_overhead_us += self.suspend_overhead_us
+
+    def current_segment(self) -> Optional[EraseSegment]:
+        """The segment currently elapsing (None when finished)."""
+        if self.finished:
+            return None
+        return self._segments[self._segment_index]

@@ -1,0 +1,23 @@
+"""Flash translation layer: page-level mapping, GC, wear leveling, AEROFTL."""
+
+from repro.ftl.mapping import PageMappingTable
+from repro.ftl.allocator import PlaneAllocator, WriteStream
+from repro.ftl.gc import GcJob, GreedyVictimSelector, PageMove
+from repro.ftl.wear_leveling import WearLeveler
+from repro.ftl.stats import FtlStats
+from repro.ftl.ftl import PageLevelFtl, WritePlan
+from repro.ftl.aeroftl import AeroFtl
+
+__all__ = [
+    "AeroFtl",
+    "FtlStats",
+    "GcJob",
+    "GreedyVictimSelector",
+    "PageLevelFtl",
+    "PageMappingTable",
+    "PageMove",
+    "PlaneAllocator",
+    "WearLeveler",
+    "WritePlan",
+    "WriteStream",
+]

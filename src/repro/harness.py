@@ -1,0 +1,164 @@
+"""Experiment harness: the paper's evaluation grid in one call.
+
+Runs (scheme x PEC-setpoint x workload) cells of the Section 7
+evaluation — build an SSD at the wear point, precondition to steady
+state, replay a synthetic Table 3 workload, collect the performance
+report — and assembles the normalized comparisons the paper's figures
+show. Used by the benchmarks and the examples; scale knobs keep a full
+grid tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SsdSpec
+from repro.rng import derive
+from repro.ssd.builder import build_ssd
+from repro.ssd.metrics import PerfReport, normalize
+from repro.workloads.profiles import WorkloadProfile, profile_by_abbr
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+#: The paper's evaluation PEC setpoints (Figure 14).
+PAPER_PEC_POINTS = (500, 2500, 4500)
+
+#: The paper's comparison schemes, in presentation order.
+PAPER_SCHEMES = ("baseline", "iispe", "dpes", "aero_cons", "aero")
+
+
+@dataclass
+class GridCell:
+    """One (scheme, pec, workload) evaluation cell."""
+
+    scheme: str
+    pec: int
+    workload: str
+    report: PerfReport
+
+
+@dataclass
+class EvaluationGrid:
+    """All cells of one evaluation campaign, with lookup helpers."""
+
+    cells: List[GridCell] = field(default_factory=list)
+
+    def report(self, scheme: str, pec: int, workload: str) -> PerfReport:
+        for cell in self.cells:
+            if (
+                cell.scheme == scheme
+                and cell.pec == pec
+                and cell.workload == workload
+            ):
+                return cell.report
+        raise KeyError((scheme, pec, workload))
+
+    def schemes(self) -> List[str]:
+        return sorted({cell.scheme for cell in self.cells})
+
+    def workloads(self) -> List[str]:
+        return sorted({cell.workload for cell in self.cells})
+
+    def pec_points(self) -> List[int]:
+        return sorted({cell.pec for cell in self.cells})
+
+    # --- figure-shaped projections -------------------------------------------------
+
+    def normalized_read_tail(
+        self, pct: float, pec: int, baseline: str = "baseline"
+    ) -> Dict[str, Dict[str, float]]:
+        """Figure 14: per-workload read tail latency vs Baseline."""
+        out: Dict[str, Dict[str, float]] = {}
+        for workload in self.workloads():
+            base = self.report(baseline, pec, workload).read_tail(pct)
+            out[workload] = {
+                scheme: normalize(
+                    self.report(scheme, pec, workload).read_tail(pct), base
+                )
+                for scheme in self.schemes()
+            }
+        return out
+
+    def geomean_normalized(
+        self,
+        metric,
+        pec: int,
+        baseline: str = "baseline",
+    ) -> Dict[str, float]:
+        """Geometric mean across workloads of metric(report)/metric(base)."""
+        import math
+
+        out: Dict[str, float] = {}
+        for scheme in self.schemes():
+            log_sum, count = 0.0, 0
+            for workload in self.workloads():
+                base = metric(self.report(baseline, pec, workload))
+                value = metric(self.report(scheme, pec, workload))
+                ratio = normalize(value, base)
+                if ratio > 0:
+                    log_sum += math.log(ratio)
+                    count += 1
+            out[scheme] = math.exp(log_sum / count) if count else 0.0
+        return out
+
+
+def run_workload_cell(
+    scheme: str,
+    pec: int,
+    workload: WorkloadProfile | str,
+    spec: Optional[SsdSpec] = None,
+    requests: int = 1200,
+    footprint_fraction: float = 0.85,
+    precondition_fraction: float = 0.9,
+    erase_suspension: bool = True,
+    seed: int = 0xAE20,
+    mispredict_rate: float = 0.0,
+) -> PerfReport:
+    """Run one evaluation cell and return its performance report."""
+    if isinstance(workload, str):
+        workload = profile_by_abbr(workload)
+    if spec is None:
+        spec = SsdSpec.small_test(seed=seed)
+    spec = spec.with_scheduler(erase_suspension=erase_suspension)
+    ssd = build_ssd(
+        spec, scheme, pec_setpoint=pec, mispredict_rate=mispredict_rate
+    )
+    ssd.precondition(
+        footprint_pages=int(spec.logical_pages * precondition_fraction)
+    )
+    generator = SyntheticTraceGenerator(
+        workload,
+        footprint_bytes=int(spec.logical_bytes * footprint_fraction),
+        seed=derive(seed, "trace", workload.abbr, pec),
+    )
+    trace = generator.generate(requests)
+    return ssd.run_trace(trace, workload_name=workload.abbr)
+
+
+def run_grid(
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    pec_points: Sequence[int] = PAPER_PEC_POINTS,
+    workloads: Sequence[str] = ("ali.A", "hm", "usr"),
+    requests: int = 1200,
+    spec: Optional[SsdSpec] = None,
+    erase_suspension: bool = True,
+    seed: int = 0xAE20,
+) -> EvaluationGrid:
+    """Run a (scheme x pec x workload) grid."""
+    grid = EvaluationGrid()
+    for pec in pec_points:
+        for workload in workloads:
+            for scheme in schemes:
+                report = run_workload_cell(
+                    scheme,
+                    pec,
+                    workload,
+                    spec=spec,
+                    requests=requests,
+                    erase_suspension=erase_suspension,
+                    seed=seed,
+                )
+                grid.cells.append(
+                    GridCell(scheme=scheme, pec=pec, workload=workload, report=report)
+                )
+    return grid

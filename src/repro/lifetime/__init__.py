@@ -1,0 +1,18 @@
+"""Lifetime evaluation: P/E cycling to failure per erase scheme (§7.2)."""
+
+from repro.lifetime.simulator import LifetimeCurve, LifetimeSimulator
+from repro.lifetime.comparison import (
+    SchemeComparison,
+    compare_schemes,
+    misprediction_sensitivity,
+    requirement_sensitivity,
+)
+
+__all__ = [
+    "LifetimeCurve",
+    "LifetimeSimulator",
+    "SchemeComparison",
+    "compare_schemes",
+    "misprediction_sensitivity",
+    "requirement_sensitivity",
+]

@@ -1,0 +1,52 @@
+"""NAND flash device model.
+
+This package is the substitute for the paper's 160 real 3D TLC chips: a
+statistical device model that reproduces the erase characteristics the
+authors measured (Figures 4 and 7-11) and exposes the same control
+surface an FTL sees (read/program/erase commands, pulse-granular erase
+control, ONFI-style GET/SET FEATURE registers, fail-bit readout).
+"""
+
+from repro.nand.geometry import (
+    BlockAddress,
+    NandGeometry,
+    PageAddress,
+    PlaneAddress,
+)
+from repro.nand.chip_types import (
+    ChipProfile,
+    MLC_3D_48L,
+    TLC_2D_2XNM,
+    TLC_3D_48L,
+    profile_by_name,
+)
+from repro.nand.erase_model import BlockEraseModel, EraseState
+from repro.nand.timing import NandTiming
+from repro.nand.rber import RberModel, RberSample
+from repro.nand.features import FeatureAddress, FeatureRegisterFile
+from repro.nand.block import Block, PageState
+from repro.nand.plane import Plane
+from repro.nand.chip import NandChip
+
+__all__ = [
+    "Block",
+    "BlockAddress",
+    "BlockEraseModel",
+    "ChipProfile",
+    "EraseState",
+    "FeatureAddress",
+    "FeatureRegisterFile",
+    "MLC_3D_48L",
+    "NandChip",
+    "NandGeometry",
+    "NandTiming",
+    "PageAddress",
+    "PageState",
+    "Plane",
+    "PlaneAddress",
+    "RberModel",
+    "RberSample",
+    "TLC_2D_2XNM",
+    "TLC_3D_48L",
+    "profile_by_name",
+]

@@ -1,0 +1,384 @@
+"""Per-block erase physics: the statistical stand-in for real NAND.
+
+The paper's entire mechanism rests on three regularities measured on 160
+real 3D TLC chips:
+
+1. **Figure 4** - the minimum erase latency ``mtBERS`` varies widely
+   across blocks and grows with P/E cycling; after 2K PEC every block
+   needs at least two ISPE loops.
+2. **Figure 7** - within an erase-pulse step, the fail-bit count falls
+   *linearly* with applied pulse time (slope ``delta`` per 0.5 ms) and
+   lands at a consistent small value ``gamma`` when exactly one more
+   pulse is needed.
+3. **Figure 8 / Table 1** - the fail-bit count at the end of one loop
+   is a conservative predictor of the pulse time the next loop needs.
+
+This module encodes exactly those regularities:
+
+* Each block draws a process-variation ``base`` and wear-sensitivity
+  ``rate``; its required erase work (in 0.5 ms *pulse units*) at wear
+  age ``x`` kilocycles is ``W(x) = clamp(base + rate * x^1.7, floor(x), 35)``.
+* An in-flight erase is an :class:`EraseState` ladder position: progress
+  is pulses applied along the ISPE voltage ladder, with *voltage credit*
+  for schemes that jump to a high loop directly (full credit on 2D
+  chips, partial on 3D - this is what breaks i-ISPE on 3D NAND,
+  paper Section 3.3).
+* Verify-read returns ``F = gamma + delta*(r-1) + noise`` when ``r``
+  pulses remain, which makes Table 1's conservative column emerge from
+  the model rather than being assumed.
+
+Wear feedback (Figure 13): blocks age by *damage*, not by P/E count.
+One erase contributes ``(program_share + erase_share * damage/baseline_damage)``
+milli-kilocycles of age, so a block erased gently (AERO) stays young -
+its ``W`` grows slower, which compounds into the paper's 30-43 %
+lifetime gains. Under Baseline ISPE the ratio is exactly 1, so wear age
+equals PEC/1000 and the characterization figures calibrate directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import EraseSchemeError
+from repro.nand.chip_types import ChipProfile
+from repro.rng import derive_rng, truncated_normal
+
+#: Fraction of wear-age accumulation attributed to erase stress
+#: (Hong et al. [11]: erase accounts for ~80 % of cell stress).
+ERASE_WEAR_SHARE = 0.9
+PROGRAM_WEAR_SHARE = 1.0 - ERASE_WEAR_SHARE
+
+#: Fail-bit saturation, in units of delta (all bitlines failing).
+FAILBIT_SATURATION_DELTAS = 8.0
+
+
+@dataclass
+class EraseState:
+    """Ladder position of one in-flight erase operation.
+
+    ``progress`` is measured in ladder-normalized pulse units: one 0.5 ms
+    pulse at the loop the standard ISPE ladder would be using advances
+    progress by one unit. Jumping to loop ``v`` without running loops
+    ``1..v-1`` grants ``jump_efficiency * 7 * (v-1)`` units of voltage
+    credit (the higher voltage instantly achieves most of what gentler
+    loops would have, fully so on 2D chips).
+    """
+
+    required: int
+    profile: ChipProfile
+    #: Multiplier on per-pulse damage; erase-voltage-scaling schemes
+    #: (DPES) lower it below 1.0 to model the gentler pulse.
+    damage_scale: float = 1.0
+    progress: float = 0.0
+    loop: int = 0
+    pulses_in_loop: int = 0
+    total_pulses: int = 0
+    damage: float = 0.0
+    loops_started: int = 0
+    skipped_loops: int = 0
+    last_fail_bits: Optional[int] = None
+    pulse_log: List[int] = field(default_factory=list)
+
+    # --- queries ------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """True once applied progress covers the required erase work."""
+        return self.progress >= self.required
+
+    @property
+    def remaining_pulses(self) -> int:
+        """Pulses still needed at the current (or any higher) voltage."""
+        return max(0, math.ceil(self.required - self.progress - 1e-9))
+
+    # --- driving ------------------------------------------------------------
+
+    def start_loop(self, voltage_loop: int) -> None:
+        """Begin an erase-pulse step at ladder voltage ``voltage_loop``.
+
+        Repeating the current loop (misprediction handling) is allowed
+        and grants no new credit. Moving up the ladder grants full
+        voltage credit only if the previous loop ran its full pulse
+        budget; otherwise the transition counts as a *jump* and gets
+        partial credit per the chip's ``jump_efficiency``.
+        """
+        if voltage_loop < 1:
+            raise EraseSchemeError("voltage loop index counts from 1")
+        if voltage_loop < self.loop:
+            raise EraseSchemeError(
+                f"cannot lower erase voltage (loop {self.loop} -> {voltage_loop})"
+            )
+        per_loop = self.profile.pulses_per_loop
+        if voltage_loop == self.loop:
+            # Retry at the same voltage: misprediction handling path.
+            self.loops_started += 1
+            return
+        continuous = voltage_loop == 1 or (
+            voltage_loop == self.loop + 1 and self.pulses_in_loop >= per_loop
+        )
+        efficiency = 1.0 if continuous else _jump_efficiency(self.profile)
+        credit = efficiency * per_loop * (voltage_loop - 1)
+        if voltage_loop > self.loop + 1 or (voltage_loop > 1 and self.loop == 0):
+            self.skipped_loops += voltage_loop - 1 - self.loop
+        self.progress = max(self.progress, credit)
+        self.loop = voltage_loop
+        self.pulses_in_loop = 0
+        self.loops_started += 1
+
+    def apply_pulses(self, count: int) -> float:
+        """Apply ``count`` pulse quanta at the current loop voltage.
+
+        Returns the damage (voltage-weighted pulse units) inflicted.
+        Progress is capped at what the current voltage level supports
+        (``pulses_per_loop * loop``): dwelling at a too-low voltage
+        cannot fully erase a hard block, which is why ISPE escalates.
+        """
+        if self.loop < 1:
+            raise EraseSchemeError("start_loop must be called before pulsing")
+        if count < 0:
+            raise EraseSchemeError("pulse count must be non-negative")
+        per_loop = self.profile.pulses_per_loop
+        cap = per_loop * self.loop
+        damage_per_pulse = self.profile.pulse_damage(self.loop) * self.damage_scale
+        if self.skipped_loops:
+            damage_per_pulse *= (
+                1.0 + _skip_stress(self.profile) * self.skipped_loops
+            )
+        added_damage = 0.0
+        for _ in range(count):
+            self.pulses_in_loop += 1
+            self.total_pulses += 1
+            self.pulse_log.append(self.loop)
+            added_damage += damage_per_pulse
+            if self.progress < cap:
+                self.progress = min(cap, self.progress + 1.0)
+        self.damage += added_damage
+        return added_damage
+
+    def verify_read(self, rng: np.random.Generator) -> int:
+        """Sense the block and return the measured fail-bit count.
+
+        Implements the Figure 7 regularity: with ``r`` pulses remaining,
+        the true count is ``gamma + delta*(r-1) + U(0, 0.5*delta)``,
+        tightly ``~gamma`` at ``r == 1`` and saturating near ``8*delta``.
+        Measurement noise is multiplicative (``failbit_noise``).
+        """
+        profile = self.profile
+        remaining = self.remaining_pulses
+        if remaining <= 0:
+            true_count = rng.uniform(0.0, 0.6 * profile.f_pass)
+        elif remaining == 1:
+            true_count = profile.gamma * rng.uniform(0.85, 1.15)
+        else:
+            # Centered slightly below gamma + delta*(r-1): about two
+            # thirds of blocks needing r more pulses report a count in
+            # fail-bit range r-1 and one third in range r, reproducing
+            # Figure 8's bin composition (66-71 % of a range's blocks
+            # need the same mtEP, the rest need less).
+            true_count = (
+                profile.gamma
+                + profile.delta * (remaining - 1)
+                + rng.uniform(-0.65, 0.15) * profile.delta
+            )
+        saturation = FAILBIT_SATURATION_DELTAS * profile.delta
+        true_count = min(true_count, saturation * rng.uniform(0.97, 1.03))
+        measured = true_count * (1.0 + rng.normal(0.0, profile.failbit_noise))
+        fail_bits = max(0, int(round(measured)))
+        self.last_fail_bits = fail_bits
+        return fail_bits
+
+    def passes(self, fail_bits: int) -> bool:
+        """ISPE pass criterion: fail-bit count at or below FPASS."""
+        return fail_bits <= self.profile.f_pass
+
+
+def _jump_efficiency(profile: ChipProfile) -> float:
+    """Voltage-credit efficiency when jumping up the ladder.
+
+    2D floating-gate cells erase as soon as the voltage is high enough
+    (full credit, which is why i-ISPE worked on 2D chips); 3D
+    charge-trap GIDL erase needs the earlier loops' dwell time too
+    (partial credit), per the paper's Section 3.3 discussion.
+    """
+    return 1.0 if not profile.is_3d else 0.8
+
+
+def _skip_stress(profile: ChipProfile) -> float:
+    """Extra per-pulse damage factor per skipped ladder loop.
+
+    Jumping straight to a high voltage deep-erases the easy cells that
+    a gentler loop would have finished, stressing them; stronger on 3D
+    chips (higher process variation across the string).
+    """
+    return profile.wear.skip_stress_factor if profile.is_3d else 0.1
+
+
+class BlockEraseModel:
+    """Static per-block erase characteristics (process variation draw).
+
+    One instance models one physical block across its whole life; the
+    block's identity (chip id, block id) and the campaign seed fully
+    determine its parameters, so experiments are reproducible and
+    block populations are stable under resampling.
+    """
+
+    def __init__(self, profile: ChipProfile, seed: int, *keys: object):
+        self.profile = profile
+        rng = derive_rng(seed, "erase-model", *keys)
+        work = profile.erase_work
+        self.base = truncated_normal(
+            rng, work.base_mean, work.base_std, work.base_low, work.base_high
+        )
+        self.rate = truncated_normal(
+            rng, work.rate_mean, work.rate_std, work.rate_low, work.rate_high
+        )
+        self._jitter_rng = derive_rng(seed, "erase-jitter", *keys)
+
+    # --- required work ---------------------------------------------------------
+
+    def deterministic_pulses(self, age_kilocycles: float) -> int:
+        """Required pulses at wear age ``x`` without erase-to-erase jitter."""
+        return self._pulses(age_kilocycles, jitter=0.0)
+
+    def required_pulses(self, age_kilocycles: float) -> int:
+        """Sample this erase's required pulses (adds small operation jitter)."""
+        jitter = float(self._jitter_rng.normal(0.0, 0.35))
+        return self._pulses(age_kilocycles, jitter)
+
+    def _pulses(self, age_kilocycles: float, jitter: float) -> int:
+        if age_kilocycles < 0:
+            raise EraseSchemeError("wear age must be non-negative")
+        work = self.profile.erase_work
+        raw = (
+            self.base
+            + self.rate * age_kilocycles ** work.pec_exponent
+            + jitter
+        )
+        floor = work.floor_pulses(int(round(age_kilocycles * 1000)))
+        bounded = max(raw, floor)
+        return int(max(1, min(self.profile.max_pulses, round(bounded))))
+
+    # --- derived characterization quantities -----------------------------------
+
+    def nispe(self, age_kilocycles: float) -> int:
+        """Loops a standard ISPE erase needs at wear age ``x``."""
+        pulses = self.deterministic_pulses(age_kilocycles)
+        return (pulses + self.profile.pulses_per_loop - 1) // self.profile.pulses_per_loop
+
+    def min_t_ep_final_us(self, age_kilocycles: float) -> float:
+        """``mtEP(NISPE)``: minimum final-loop pulse time (us)."""
+        pulses = self.deterministic_pulses(age_kilocycles)
+        per_loop = self.profile.pulses_per_loop
+        final = 1 + (pulses - 1) % per_loop
+        return final * self.profile.pulse_quantum_us
+
+    def min_t_bers_us(self, age_kilocycles: float) -> float:
+        """``mtBERS``: minimum total erase latency (us), incl. verify reads."""
+        pulses = self.deterministic_pulses(age_kilocycles)
+        loops = self.nispe(age_kilocycles)
+        pulse_time = pulses * self.profile.pulse_quantum_us
+        return pulse_time + loops * self.profile.t_vr_us
+
+    def begin_erase(self, age_kilocycles: float) -> EraseState:
+        """Create the erase-state ladder for one erase operation."""
+        return EraseState(
+            required=self.required_pulses(age_kilocycles),
+            profile=self.profile,
+        )
+
+    def baseline_damage(self, age_kilocycles: float) -> float:
+        """Damage a Baseline ISPE erase would inflict at this wear age.
+
+        The wear-age update divides actual damage by this reference, so
+        Baseline cycling ages a block by exactly one cycle per erase.
+        """
+        loops = self.nispe(age_kilocycles)
+        per_loop = self.profile.pulses_per_loop
+        return per_loop * sum(
+            self.profile.pulse_damage(i) for i in range(1, loops + 1)
+        )
+
+
+@dataclass
+class WearState:
+    """Mutable wear history of one block.
+
+    ``age_kilocycles`` is damage-normalized wear age: under Baseline
+    ISPE it equals ``pec / 1000``; gentler schemes age slower.
+    ``residual_fail_bits``/``residual_nispe`` capture deliberate
+    under-erasure by AERO's aggressive mode, which the RBER model turns
+    into the Figure 10b penalty.
+    """
+
+    age_kilocycles: float = 0.0
+    pec: int = 0
+    damage_total: float = 0.0
+    residual_fail_bits: int = 0
+    residual_nispe: int = 1
+
+    def record_erase(
+        self,
+        model: BlockEraseModel,
+        damage: float,
+        residual_fail_bits: int = 0,
+        nispe: int = 1,
+        cycles: int = 1,
+    ) -> None:
+        """Account one erase (or ``cycles`` identical coarse-step erases)."""
+        baseline = model.baseline_damage(self.age_kilocycles)
+        ratio = damage / baseline if baseline > 0 else 1.0
+        step = (PROGRAM_WEAR_SHARE + ERASE_WEAR_SHARE * ratio) / 1000.0
+        self.age_kilocycles += step * cycles
+        self.pec += cycles
+        self.damage_total += damage * cycles
+        self.residual_fail_bits = residual_fail_bits
+        self.residual_nispe = nispe
+
+
+class BlockPopulation:
+    """A reproducible population of block erase models.
+
+    Used by the characterization campaign (stand-in for "120 blocks
+    evenly selected from each of 160 chips") and by the lifetime and
+    SSD simulations, which assign these models to simulated blocks the
+    way the paper assigns measured per-block metadata to MQSim blocks.
+    """
+
+    def __init__(self, profile: ChipProfile, count: int, seed: int):
+        if count <= 0:
+            raise EraseSchemeError("population must contain at least one block")
+        self.profile = profile
+        self.seed = seed
+        self.models: List[BlockEraseModel] = [
+            BlockEraseModel(profile, seed, "population", index)
+            for index in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def __iter__(self):
+        return iter(self.models)
+
+    def __getitem__(self, index: int) -> BlockEraseModel:
+        return self.models[index]
+
+    def nispe_histogram(self, age_kilocycles: float) -> Dict[int, int]:
+        """Histogram of NISPE across the population at a wear age."""
+        histogram: Dict[int, int] = {}
+        for model in self.models:
+            loops = model.nispe(age_kilocycles)
+            histogram[loops] = histogram.get(loops, 0) + 1
+        return histogram
+
+    def min_t_bers_ms(self, age_kilocycles: float) -> List[float]:
+        """Sorted ``mtBERS`` values (ms) across the population (Fig. 4)."""
+        values = [
+            model.min_t_bers_us(age_kilocycles) / 1000.0
+            for model in self.models
+        ]
+        return sorted(values)

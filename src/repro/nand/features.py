@@ -1,0 +1,100 @@
+"""ONFI-style GET/SET FEATURE register file.
+
+The paper's AEROFTL needs no chip modification because commodity chips
+already expose (i) the fail-bit count computed for the ISPE pass check
+and (ii) test-mode control of erase timing through GET/SET FEATURE
+commands (ONFI 4.1 [61]). This module models that command surface so
+the FTL code paths are exercised exactly as they would be on hardware:
+the FTL never touches model internals, only feature registers.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict
+
+from repro.errors import FeatureError
+
+
+class FeatureAddress(IntEnum):
+    """Feature register addresses (vendor test-mode block)."""
+
+    #: Next erase-pulse duration, in pulse quanta (read/write).
+    ERASE_PULSE_QUANTA = 0x91
+    #: Fail-bit count latched by the most recent verify-read (read-only).
+    FAIL_BIT_COUNT = 0x92
+    #: Voltage-ladder loop index of the most recent erase pulse (read-only).
+    ERASE_LOOP_INDEX = 0x93
+    #: Number of verify-reads performed in the current/last erase (read-only).
+    VERIFY_READ_COUNT = 0x94
+
+
+_READ_ONLY = frozenset(
+    {
+        FeatureAddress.FAIL_BIT_COUNT,
+        FeatureAddress.ERASE_LOOP_INDEX,
+        FeatureAddress.VERIFY_READ_COUNT,
+    }
+)
+
+
+class FeatureRegisterFile:
+    """Per-chip feature registers with ONFI GET/SET semantics."""
+
+    def __init__(self, default_pulse_quanta: int):
+        self._default_pulse_quanta = default_pulse_quanta
+        self._registers: Dict[FeatureAddress, int] = {
+            FeatureAddress.ERASE_PULSE_QUANTA: default_pulse_quanta,
+            FeatureAddress.FAIL_BIT_COUNT: 0,
+            FeatureAddress.ERASE_LOOP_INDEX: 0,
+            FeatureAddress.VERIFY_READ_COUNT: 0,
+        }
+
+    # --- host-visible commands -------------------------------------------------
+
+    def get_feature(self, address: int) -> int:
+        """ONFI GET FEATURE: read a register."""
+        try:
+            key = FeatureAddress(address)
+        except ValueError:
+            raise FeatureError(f"unknown feature address {address:#x}")
+        return self._registers[key]
+
+    def set_feature(self, address: int, value: int) -> None:
+        """ONFI SET FEATURE: write a writable register."""
+        try:
+            key = FeatureAddress(address)
+        except ValueError:
+            raise FeatureError(f"unknown feature address {address:#x}")
+        if key in _READ_ONLY:
+            raise FeatureError(f"feature {key.name} is read-only")
+        if value < 0:
+            raise FeatureError("feature values are unsigned")
+        self._registers[key] = int(value)
+
+    # --- device-side latching ----------------------------------------------------
+
+    def latch_verify_read(self, fail_bits: int) -> None:
+        """Latch a verify-read result (called by the chip model)."""
+        self._registers[FeatureAddress.FAIL_BIT_COUNT] = int(fail_bits)
+        self._registers[FeatureAddress.VERIFY_READ_COUNT] += 1
+
+    def latch_erase_loop(self, loop_index: int) -> None:
+        """Latch the active erase loop index (called by the chip model)."""
+        self._registers[FeatureAddress.ERASE_LOOP_INDEX] = int(loop_index)
+
+    def reset_erase_state(self) -> None:
+        """Clear per-operation registers at the start of a new erase."""
+        self._registers[FeatureAddress.ERASE_LOOP_INDEX] = 0
+        self._registers[FeatureAddress.VERIFY_READ_COUNT] = 0
+
+    @property
+    def erase_pulse_quanta(self) -> int:
+        """Currently configured erase-pulse duration (pulse quanta)."""
+        return self._registers[FeatureAddress.ERASE_PULSE_QUANTA]
+
+    def restore_default_pulse(self) -> None:
+        """Restore the datasheet default erase-pulse duration."""
+        self._registers[FeatureAddress.ERASE_PULSE_QUANTA] = (
+            self._default_pulse_quanta
+        )

@@ -1,0 +1,74 @@
+"""Factory for the five evaluated erase schemes (paper Section 7.1).
+
+Central place mapping scheme keys — ``baseline``, ``iispe``, ``dpes``,
+``aero_cons``, ``aero`` — to configured scheme objects, shared by the
+lifetime simulator, the SSD builder, benchmarks, and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aero import AeroEraseScheme
+from repro.core.ept import (
+    build_aggressive_table,
+    published_conservative_table,
+)
+from repro.core.felp import FelpPredictor
+from repro.erase.dpes import DpesScheme
+from repro.erase.iispe import IntelligentIspeScheme
+from repro.erase.ispe import BaselineIspeScheme
+from repro.erase.mispe import MIspeScheme
+from repro.erase.scheme import EraseScheme
+from repro.errors import ConfigError
+from repro.nand.chip_types import ChipProfile
+from repro.nand.rber import RberModel
+
+#: Keys accepted by :func:`make_scheme`, in the paper's comparison order.
+SCHEME_KEYS = ("baseline", "iispe", "dpes", "aero_cons", "aero")
+
+
+def make_scheme(
+    profile: ChipProfile,
+    key: str,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """Instantiate one of the evaluated erase schemes.
+
+    ``mispredict_rate`` injects forced under-predictions into AERO
+    (Figure 16 sensitivity); ``rber_requirement`` rebuilds AERO's
+    aggressive table for a weaker ECC (Figure 17 sensitivity). Both are
+    ignored by the non-AERO schemes.
+    """
+    if key == "baseline":
+        return BaselineIspeScheme(profile)
+    if key == "iispe":
+        return IntelligentIspeScheme(profile)
+    if key == "dpes":
+        return DpesScheme(profile)
+    if key == "mispe":
+        return MIspeScheme(profile)
+    if key in ("aero", "aero_cons"):
+        aggressive = key == "aero"
+        conservative = published_conservative_table(profile)
+        aggressive_table = None
+        if aggressive:
+            aggressive_table = build_aggressive_table(
+                profile,
+                conservative,
+                rber_model=RberModel(profile),
+                requirement_bits_per_kib=rber_requirement,
+            )
+        predictor = FelpPredictor(
+            profile, conservative=conservative, aggressive=aggressive_table
+        )
+        return AeroEraseScheme(
+            profile,
+            predictor=predictor,
+            aggressive=aggressive,
+            mispredict_rate=mispredict_rate,
+        )
+    raise ConfigError(
+        f"unknown scheme {key!r}; known: {', '.join(SCHEME_KEYS)} (+ 'mispe')"
+    )

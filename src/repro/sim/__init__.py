@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine (the MQSim substrate)."""
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Event", "Simulator"]

@@ -1,0 +1,23 @@
+"""Event-driven SSD model (the MQSim-style substrate of Section 7)."""
+
+from repro.ssd.request import HostRequest, PageTransaction, TxnKind, TxnPriority
+from repro.ssd.metrics import LatencyRecorder, PerfReport
+from repro.ssd.channel import ChannelBus
+from repro.ssd.scheduler import ChipExecutor
+from repro.ssd.controller import SsdController
+from repro.ssd.ssd import Ssd
+from repro.ssd.builder import build_ssd
+
+__all__ = [
+    "ChannelBus",
+    "ChipExecutor",
+    "HostRequest",
+    "LatencyRecorder",
+    "PageTransaction",
+    "PerfReport",
+    "Ssd",
+    "SsdController",
+    "TxnKind",
+    "TxnPriority",
+    "build_ssd",
+]

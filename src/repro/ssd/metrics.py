@@ -1,0 +1,113 @@
+"""Latency recording and performance reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Percentiles reported by default: the paper's Figure 14/15 points
+#: (99.99, 99.9999) plus the robust 99.9 used at bench scale.
+DEFAULT_PERCENTILES = (99.0, 99.9, 99.99, 99.9999)
+
+
+class LatencyRecorder:
+    """Accumulates per-request latencies for one operation class."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise SimulationError(f"negative latency {latency_us}")
+        self._values.append(latency_us)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._values
+
+    @property
+    def mean_us(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile over recorded samples (us).
+
+        At bench scale the extreme percentiles saturate to the max
+        sample; callers compare *relative* values across schemes, as
+        the paper does (all Figure 14 values are normalized).
+        """
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, pct))
+
+    def summary(self, percentiles=DEFAULT_PERCENTILES) -> Dict[str, float]:
+        out = {"count": float(len(self._values)), "mean_us": self.mean_us}
+        for pct in percentiles:
+            out[f"p{pct:g}_us"] = self.percentile(pct)
+        out["max_us"] = self.max_us
+        return out
+
+
+@dataclass
+class PerfReport:
+    """Outcome of one timed trace replay."""
+
+    workload: str
+    scheme: str
+    reads: LatencyRecorder
+    writes: LatencyRecorder
+    requests_completed: int = 0
+    makespan_us: float = 0.0
+    erases: int = 0
+    erase_busy_us: float = 0.0
+    erase_suspensions: int = 0
+    gc_jobs: int = 0
+    gc_page_moves: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def iops(self) -> float:
+        """Completed requests per second over the makespan."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.requests_completed / (self.makespan_us / 1e6)
+
+    def read_tail(self, pct: float) -> float:
+        return self.reads.percentile(pct)
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "requests": self.requests_completed,
+            "iops": self.iops,
+            "makespan_us": self.makespan_us,
+            "erases": self.erases,
+            "erase_suspensions": self.erase_suspensions,
+            "gc_jobs": self.gc_jobs,
+            "gc_page_moves": self.gc_page_moves,
+        }
+        for key, value in self.reads.summary().items():
+            out[f"read_{key}"] = value
+        for key, value in self.writes.summary().items():
+            out[f"write_{key}"] = value
+        return out
+
+
+def normalize(value: float, baseline: float) -> float:
+    """value / baseline with a guard for empty baselines."""
+    if baseline <= 0:
+        return 0.0 if value <= 0 else float("inf")
+    return value / baseline

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SsdSpec
+from repro.nand.block import Block
+from repro.nand.chip_types import MLC_3D_48L, TLC_2D_2XNM, TLC_3D_48L
+from repro.nand.geometry import BlockAddress
+from repro.rng import make_rng
+
+
+@pytest.fixture
+def profile():
+    """The main-study chip profile (3D TLC 48L)."""
+    return TLC_3D_48L
+
+
+@pytest.fixture(params=[TLC_3D_48L, TLC_2D_2XNM, MLC_3D_48L], ids=lambda p: p.name)
+def any_profile(request):
+    """Parametrized over all three characterized chip families."""
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    return make_rng(12345)
+
+
+@pytest.fixture
+def small_spec():
+    return SsdSpec.small_test()
+
+
+def make_block(profile, age_kilocycles: float = 0.0, seed: int = 777, index: int = 0, pages: int = 32) -> Block:
+    """Standalone test block at a given wear age."""
+    block = Block(
+        address=BlockAddress(0, 0, 0, index),
+        profile=profile,
+        pages=pages,
+        seed=seed,
+    )
+    block.wear.age_kilocycles = age_kilocycles
+    block.wear.pec = int(age_kilocycles * 1000)
+    return block
+
+
+@pytest.fixture
+def block_factory():
+    return make_block

@@ -1,0 +1,65 @@
+"""SSD configuration objects."""
+
+import pytest
+
+from repro.config import GcSpec, SchedulerSpec, SsdSpec
+from repro.errors import ConfigError
+from repro.nand.geometry import NandGeometry
+
+
+def test_table2_defaults():
+    spec = SsdSpec.paper_table2()
+    assert spec.overprovisioning == 0.20
+    assert spec.geometry.channels == 8
+    assert spec.geometry.chips_per_channel == 2
+    assert spec.profile.name == "3D-TLC-48L"
+    assert spec.scheduler.erase_suspension
+
+
+def test_logical_capacity_excludes_op():
+    spec = SsdSpec.small_test()
+    assert spec.logical_pages == int(spec.geometry.pages * 0.8)
+    assert spec.logical_bytes == spec.logical_pages * spec.geometry.page_size
+
+
+def test_page_transfer_time():
+    spec = SsdSpec.small_test()
+    # 4 KiB at 1200 MB/s ~ 3.4 us.
+    assert spec.page_transfer_us == pytest.approx(4096 / 1200.0)
+
+
+def test_with_scheduler_override():
+    spec = SsdSpec.small_test()
+    no_suspend = spec.with_scheduler(erase_suspension=False)
+    assert not no_suspend.scheduler.erase_suspension
+    assert spec.scheduler.erase_suspension  # original untouched
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        SsdSpec(overprovisioning=0.95)
+    with pytest.raises(ConfigError):
+        SsdSpec(channel_mb_per_s=0.0)
+    with pytest.raises(ConfigError):
+        GcSpec(low_watermark=5, high_watermark=5)
+    with pytest.raises(ConfigError):
+        # Geometry too small for GC watermarks.
+        SsdSpec(
+            geometry=NandGeometry(
+                channels=1, chips_per_channel=1, planes_per_chip=1,
+                blocks_per_plane=6, pages_per_block=8, page_size=4096,
+            )
+        )
+
+
+def test_canned_configs_valid():
+    for spec in (SsdSpec.small_test(), SsdSpec.bench()):
+        assert spec.logical_pages > 0
+        assert spec.geometry.blocks_per_plane > spec.gc.high_watermark
+
+
+def test_scheduler_spec_defaults():
+    scheduler = SchedulerSpec()
+    assert scheduler.user_priority
+    assert scheduler.suspend_overhead_us >= 0
+    assert scheduler.gc_escalation_backlog >= 1

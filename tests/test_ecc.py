@@ -1,0 +1,84 @@
+"""ECC capability model and read-retry."""
+
+import pytest
+
+from repro.ecc.ldpc import EccEngine
+from repro.ecc.read_retry import ReadRetryPolicy
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def ecc(profile):
+    return EccEngine(profile.ecc)
+
+
+def test_capability_and_requirement(ecc):
+    """Paper: LDPC corrects 72 bits/KiB; requirement 63 with margin."""
+    assert ecc.capability == 72
+    assert ecc.requirement == 63
+    assert ecc.requirement < ecc.capability
+
+
+def test_decode_within_capability(ecc):
+    result = ecc.decode(40.0)
+    assert result.success
+    assert result.margin_bits == pytest.approx(32.0)
+    assert result.latency_us > 0
+
+
+def test_decode_beyond_capability(ecc):
+    result = ecc.decode(100.0)
+    assert not result.success
+    assert result.margin_bits < 0
+
+
+def test_decode_rejects_negative(ecc):
+    with pytest.raises(ConfigError):
+        ecc.decode(-1.0)
+
+
+def test_meets_requirement_uses_margin(ecc):
+    assert ecc.meets_requirement(63.0)
+    assert not ecc.meets_requirement(63.5)
+    # Between requirement and capability: usable now, but no margin
+    # left for lifetime (the band AERO's aggressive mode spends).
+    assert ecc.correctable(70.0)
+    assert not ecc.meets_requirement(70.0)
+
+
+class TestReadRetry:
+    def test_clean_read_single_pass(self, ecc, profile):
+        policy = ReadRetryPolicy(ecc, t_r_us=profile.t_r_us, transfer_us=13.0)
+        result = policy.read(30.0)
+        assert result.success
+        assert result.retries == 0
+        assert result.total_latency_us == pytest.approx(
+            profile.t_r_us + 13.0 + profile.ecc.decode_latency_us
+        )
+
+    def test_retry_reduces_rber(self, ecc, profile):
+        policy = ReadRetryPolicy(ecc, t_r_us=profile.t_r_us)
+        result = policy.read(120.0)
+        assert result.success
+        assert result.retries >= 1
+        assert result.final_raw_bit_errors <= ecc.capability
+        # Each retry adds a sense + decode.
+        assert result.total_latency_us > profile.t_r_us * (result.retries + 1)
+
+    def test_uncorrectable_after_budget(self, ecc, profile):
+        policy = ReadRetryPolicy(ecc, t_r_us=profile.t_r_us)
+        result = policy.read(1e9)
+        assert not result.success
+        assert result.retries == profile.ecc.max_read_retries
+
+    def test_validation(self, ecc):
+        with pytest.raises(ConfigError):
+            ReadRetryPolicy(ecc, t_r_us=0.0)
+
+
+def test_capability_margin_concept(ecc):
+    """The margin the paper's footnote 1 defines, exercised end to end:
+    a young block's typical error count leaves tens of bits of slack."""
+    margins = [ecc.margin(errors) for errors in (16.0, 30.0, 46.0)]
+    assert all(m > 0 for m in margins)
+    assert margins == sorted(margins, reverse=True)

@@ -1,0 +1,29 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_erase_failure_carries_context():
+    failure = errors.EraseFailure("boom", fail_bits=1234, loops=5)
+    assert failure.fail_bits == 1234
+    assert failure.loops == 5
+    assert "boom" in str(failure)
+
+
+def test_catching_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.OutOfSpaceError("full")
+    with pytest.raises(errors.FtlError):
+        raise errors.MappingError("bad map")
+    with pytest.raises(errors.NandError):
+        raise errors.AddressError("bad addr")

@@ -1,0 +1,102 @@
+"""Lifetime simulation (Figure 13 methodology) — scaled-down checks."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lifetime import LifetimeSimulator, compare_schemes
+from repro.nand.chip_types import TLC_3D_48L
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One shared five-scheme campaign (module-scoped: it's the slow one)."""
+    return compare_schemes(TLC_3D_48L, block_count=24, step=100, seed=4)
+
+
+def test_all_schemes_cross_requirement(comparison):
+    for key, curve in comparison.curves.items():
+        assert curve.lifetime_pec is not None, key
+        assert curve.avg_mrber[-1] > curve.requirement
+
+
+def test_figure13_ordering(comparison):
+    """AERO > AEROcons ~ DPES > Baseline > i-ISPE."""
+    life = {key: comparison.lifetime(key) for key in comparison.curves}
+    assert life["aero"] > life["aero_cons"]
+    assert life["aero_cons"] > life["baseline"]
+    assert life["dpes"] > life["baseline"]
+    assert life["iispe"] < life["baseline"]
+
+
+def test_figure13_magnitudes(comparison):
+    """Improvements in the paper's neighbourhood (+43/+30/+26/-25 %)."""
+    assert 0.25 <= comparison.improvement("aero") <= 0.75
+    assert 0.10 <= comparison.improvement("aero_cons") <= 0.45
+    assert 0.08 <= comparison.improvement("dpes") <= 0.40
+    assert -0.45 <= comparison.improvement("iispe") <= -0.10
+
+
+def test_baseline_lifetime_near_calibration(comparison):
+    """Figure 13: Baseline fails around 5.3K PEC."""
+    assert 4500 <= comparison.lifetime("baseline") <= 6200
+
+
+def test_aero_elevated_initial_mrber(comparison):
+    """Aggressive under-erasure raises MRBER from the very start."""
+    aero = comparison.curves["aero"]
+    baseline = comparison.curves["baseline"]
+    assert aero.mrber_at(500) > baseline.mrber_at(500) + 5
+
+
+def test_dpes_elevated_early_then_flat(comparison):
+    dpes = comparison.curves["dpes"]
+    baseline = comparison.curves["baseline"]
+    assert dpes.mrber_at(1000) > baseline.mrber_at(1000)
+
+
+def test_curve_helpers(comparison):
+    from repro.lifetime.simulator import LifetimeCurve
+
+    curve = comparison.curves["baseline"]
+    assert curve.initial_mrber < curve.avg_mrber[-1]
+    with pytest.raises(ConfigError):
+        LifetimeCurve(scheme="empty").mrber_at(0)
+    with pytest.raises(ConfigError):
+        LifetimeCurve(scheme="x").improvement_over(curve)
+
+
+def test_ranking(comparison):
+    ranking = comparison.ranking()
+    assert ranking[0] == "aero"
+    assert ranking[-1] == "iispe"
+
+
+def test_simulator_validation():
+    with pytest.raises(ConfigError):
+        LifetimeSimulator(TLC_3D_48L, "baseline", block_count=0)
+
+
+def test_misprediction_degrades_gracefully():
+    """Figure 16: even 20 % misprediction keeps most of the benefit."""
+    clean = LifetimeSimulator(
+        TLC_3D_48L, "aero", block_count=16, step=100, seed=8
+    ).run()
+    noisy = LifetimeSimulator(
+        TLC_3D_48L, "aero", block_count=16, step=100, seed=8, mispredict_rate=0.2
+    ).run()
+    base = LifetimeSimulator(
+        TLC_3D_48L, "baseline", block_count=16, step=100, seed=8
+    ).run()
+    assert noisy.lifetime_pec <= clean.lifetime_pec
+    assert noisy.lifetime_pec > base.lifetime_pec  # benefit survives
+
+
+def test_requirement_sensitivity_shrinks_lifetimes():
+    """Figure 17: weaker ECC costs every scheme lifetime."""
+    strict = LifetimeSimulator(
+        TLC_3D_48L, "baseline", block_count=16, step=100, seed=8, requirement=40
+    ).run()
+    loose = LifetimeSimulator(
+        TLC_3D_48L, "baseline", block_count=16, step=100, seed=8, requirement=63
+    ).run()
+    assert strict.lifetime_pec < loose.lifetime_pec

@@ -1,0 +1,149 @@
+"""Chip-executor edge cases: suspension boundaries, caps, priorities."""
+
+import pytest
+
+from repro.config import SsdSpec
+from repro.erase.scheme import EraseOperationResult, EraseSegment, SegmentKind
+from repro.nand.chip import NandChip
+from repro.sim.engine import Simulator
+from repro.ssd.channel import ChannelBus
+from repro.ssd.request import PageTransaction, TxnKind, TxnPriority
+from repro.ssd.scheduler import ChipExecutor
+
+
+def make_executor(spec=None, completions=None):
+    spec = spec or SsdSpec.small_test()
+    sim = Simulator()
+    chip = NandChip(
+        0, 0, spec.profile,
+        planes=spec.geometry.planes_per_chip,
+        blocks_per_plane=spec.geometry.blocks_per_plane,
+        pages_per_block=spec.geometry.pages_per_block,
+        seed=1,
+    )
+    bus = ChannelBus(0, spec.page_transfer_us)
+    done = completions if completions is not None else []
+    executor = ChipExecutor(sim, spec, chip, bus, on_complete=done.append)
+    return sim, executor, done
+
+
+def erase_txn(pulse_ms=(3.5, 3.5)):
+    result = EraseOperationResult(scheme="x")
+    for duration in pulse_ms:
+        result.segments.append(
+            EraseSegment(SegmentKind.ERASE_PULSE, duration * 1000.0, loop=1)
+        )
+        result.segments.append(
+            EraseSegment(SegmentKind.VERIFY_READ, 100.0, loop=1)
+        )
+    result.completed = True
+    return PageTransaction(
+        kind=TxnKind.ERASE, priority=TxnPriority.ERASE,
+        channel=0, chip=0, erase_result=result,
+    )
+
+
+def read_txn():
+    from repro.nand.geometry import PageAddress
+
+    return PageTransaction(
+        kind=TxnKind.READ, priority=TxnPriority.USER_READ,
+        channel=0, chip=0, address=PageAddress(0, 0, 0, 0, 0),
+    )
+
+
+def test_erase_runs_to_completion_when_idle():
+    sim, executor, done = make_executor()
+    executor.submit(erase_txn())
+    sim.run()
+    assert len(done) == 1
+    assert executor.erases_completed == 1
+    assert executor.erase_suspensions == 0
+    # Two pulses + two verify reads.
+    assert sim.now == pytest.approx(2 * 3500.0 + 2 * 100.0)
+
+
+def test_read_suspends_erase_at_pulse_boundary():
+    sim, executor, done = make_executor()
+    executor.submit(erase_txn())
+    # A read arrives 1 ms into the first 3.5 ms pulse.
+    sim.at(1000.0, lambda: executor.submit(read_txn()))
+    sim.run()
+    assert executor.erase_suspensions == 1
+    # Order: the read completes before the erase.
+    assert done[0].kind is TxnKind.READ
+    assert done[1].kind is TxnKind.ERASE
+    # The read started only at the pulse boundary (3.5 ms), not at 1 ms.
+    spec = SsdSpec.small_test()
+    read_duration = (
+        spec.controller_overhead_us
+        + spec.profile.t_r_us
+        + spec.page_transfer_us
+        + spec.profile.ecc.decode_latency_us
+    )
+    # Total time: erase + read + resume overhead.
+    expected_total = (
+        2 * 3500.0 + 2 * 100.0 + read_duration
+        + spec.scheduler.suspend_overhead_us
+    )
+    assert sim.now == pytest.approx(expected_total, rel=1e-6)
+
+
+def test_suspension_cap_forces_reads_to_wait():
+    spec = SsdSpec.small_test().with_scheduler(max_suspensions_per_erase=1)
+    sim, executor, done = make_executor(spec)
+    executor.submit(erase_txn())
+    sim.at(500.0, lambda: executor.submit(read_txn()))    # 1st: suspends
+    sim.at(4500.0, lambda: executor.submit(read_txn()))   # 2nd: must wait
+    sim.run()
+    assert executor.erase_suspensions == 1
+    kinds = [t.kind for t in done]
+    assert kinds.count(TxnKind.READ) == 2
+    assert kinds[-1] is TxnKind.ERASE or kinds[1] is TxnKind.ERASE
+
+
+def test_suspension_disabled_never_suspends():
+    spec = SsdSpec.small_test().with_scheduler(erase_suspension=False)
+    sim, executor, done = make_executor(spec)
+    executor.submit(erase_txn())
+    sim.at(100.0, lambda: executor.submit(read_txn()))
+    sim.run()
+    assert executor.erase_suspensions == 0
+    assert done[0].kind is TxnKind.ERASE  # read waited the erase out
+
+
+def test_priority_order_within_queue():
+    sim, executor, done = make_executor()
+    from repro.nand.geometry import PageAddress
+
+    def txn(kind, priority):
+        return PageTransaction(
+            kind=kind, priority=priority, channel=0, chip=0,
+            address=PageAddress(0, 0, 0, 0, 0),
+        )
+
+    # Occupy the chip, then queue in mixed priority order.
+    executor.submit(erase_txn(pulse_ms=(3.5,)))
+    executor.submit(txn(TxnKind.GC_READ, TxnPriority.GC))
+    executor.submit(txn(TxnKind.PROGRAM, TxnPriority.USER_WRITE))
+    sim.run()
+    kinds = [t.kind for t in done if t.kind is not TxnKind.ERASE]
+    assert kinds == [TxnKind.PROGRAM, TxnKind.GC_READ]
+
+
+def test_erase_busy_time_accounted():
+    sim, executor, done = make_executor()
+    executor.submit(erase_txn(pulse_ms=(3.5,)))
+    sim.run()
+    assert executor.erase_busy_us == pytest.approx(3500.0 + 100.0)
+
+
+def test_multiple_reads_during_one_suspension():
+    sim, executor, done = make_executor()
+    executor.submit(erase_txn())
+    for t in (1000.0, 1100.0, 1200.0):
+        sim.at(t, lambda: executor.submit(read_txn()))
+    sim.run()
+    # One suspension window serves all three reads.
+    assert executor.erase_suspensions == 1
+    assert [t.kind for t in done[:3]] == [TxnKind.READ] * 3

@@ -1,0 +1,100 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(30.0, lambda: fired.append("c"))
+    sim.at(10.0, lambda: fired.append("a"))
+    sim.at(20.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in "abcd":
+        sim.at(5.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list("abcd")
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    times = []
+    sim.at(100.0, lambda: sim.after(50.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [150.0]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.at(5.0, lambda: None)
+    with pytest.raises(SchedulingError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.at(10.0, lambda: fired.append("x"))
+    sim.at(5.0, lambda: event.cancel())
+    sim.run()
+    assert fired == []
+    assert event.cancelled
+
+
+def test_run_until_horizon():
+    sim = Simulator()
+    fired = []
+    sim.at(10.0, lambda: fired.append(1))
+    sim.at(100.0, lambda: fired.append(2))
+    sim.run(until=50.0)
+    assert fired == [1]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_cascading_events():
+    sim = Simulator()
+    counter = []
+
+    def chain(depth):
+        counter.append(depth)
+        if depth < 5:
+            sim.after(1.0, lambda: chain(depth + 1))
+
+    sim.at(0.0, lambda: chain(0))
+    sim.run()
+    assert counter == list(range(6))
+    assert sim.events_fired == 6  # chain(0) through chain(5)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.after(1.0, forever)
+
+    sim.at(0.0, forever)
+    with pytest.raises(SchedulingError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.at(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
