@@ -8,7 +8,11 @@ roughly what factor, where crossovers fall).
 
 Scale: the default sizes keep the whole suite in the minutes range on
 a laptop. Set ``REPRO_BENCH_FULL=1`` for the full 11-workload,
-3-setpoint grid.
+3-setpoint grid. The grid-shaped campaigns run through
+:class:`repro.harness.GridRunner`: set ``REPRO_BENCH_WORKERS=n`` to
+fan cells out over ``n`` processes and ``REPRO_BENCH_CACHE=<dir>`` to
+persist finished cells so interrupted or repeated campaigns resume
+instead of recomputing (results are bit-identical either way).
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from __future__ import annotations
 import os
 
 import pytest
+
+from repro.harness import GridRunner, ProcessExecutor, SerialExecutor
 
 
 def full_scale() -> bool:
@@ -46,3 +52,21 @@ def bench_workloads():
 @pytest.fixture(scope="session")
 def bench_requests():
     return 4000 if full_scale() else 900
+
+
+@pytest.fixture(scope="session")
+def bench_executor():
+    """Cell executor for grid campaigns (serial unless REPRO_BENCH_WORKERS>1)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if workers > 1:
+        return ProcessExecutor(workers)
+    return SerialExecutor()
+
+
+@pytest.fixture
+def bench_runner(bench_executor):
+    """Grid runner honouring the worker and cache-directory env knobs."""
+    return GridRunner(
+        executor=bench_executor,
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
+    )

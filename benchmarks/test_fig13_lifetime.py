@@ -21,13 +21,14 @@ PAPER_GAINS = {
 }
 
 
-def test_fig13_lifetime(once):
+def test_fig13_lifetime(once, bench_executor):
     comparison = once(
         compare_schemes,
         TLC_3D_48L,
         block_count=48,
         step=50,
         seed=0xF13,
+        executor=bench_executor,
     )
 
     base_life = comparison.lifetime("baseline")

@@ -16,16 +16,16 @@ shows. REPRO_BENCH_FULL=1 runs the full 11-workload grid.
 """
 
 from repro.analysis.tables import format_table
-from repro.harness import PAPER_SCHEMES, run_grid
+from repro.harness import PAPER_SCHEMES
 
 PEC_POINTS = (500, 2500, 4500)
 TAIL_PCT = 99.0
 EXTREME_PCT = 99.9
 
 
-def test_fig14_read_tail_latency(once, bench_workloads, bench_requests):
+def test_fig14_read_tail_latency(once, bench_runner, bench_workloads, bench_requests):
     grid = once(
-        run_grid,
+        bench_runner.run,
         schemes=PAPER_SCHEMES,
         pec_points=PEC_POINTS,
         workloads=bench_workloads,

@@ -9,18 +9,17 @@ Paper results reproduced here:
 """
 
 from repro.analysis.tables import format_table
-from repro.harness import run_grid
 
 SCHEMES = ("baseline", "aero_cons", "aero")
 PEC_POINTS = (500, 2500, 4500)
 TAIL_PCT = 99.0
 
 
-def test_fig15_erase_suspension(once, bench_workloads, bench_requests):
+def test_fig15_erase_suspension(once, bench_runner, bench_workloads, bench_requests):
     workloads = bench_workloads[:3]
 
     def campaign():
-        with_suspend = run_grid(
+        with_suspend = bench_runner.run(
             schemes=SCHEMES,
             pec_points=PEC_POINTS,
             workloads=workloads,
@@ -28,7 +27,7 @@ def test_fig15_erase_suspension(once, bench_workloads, bench_requests):
             erase_suspension=True,
             seed=0xF15,
         )
-        without = run_grid(
+        without = bench_runner.run(
             schemes=SCHEMES,
             pec_points=PEC_POINTS,
             workloads=workloads,

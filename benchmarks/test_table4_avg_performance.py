@@ -16,15 +16,14 @@ rather than pinning them to 1.0.
 """
 
 from repro.analysis.tables import format_table
-from repro.harness import run_grid
 
 SCHEMES = ("baseline", "dpes", "aero_cons", "aero")
 PEC_POINTS = (500, 2500, 4500)
 
 
-def test_table4_average_performance(once, bench_workloads, bench_requests):
+def test_table4_average_performance(once, bench_runner, bench_workloads, bench_requests):
     grid = once(
-        run_grid,
+        bench_runner.run,
         schemes=SCHEMES,
         pec_points=PEC_POINTS,
         workloads=bench_workloads[:4],

@@ -4,40 +4,62 @@
 Builds bench-scale SSDs at three wear points, replays a write-heavy
 datacenter workload (ali.A) and a mixed enterprise workload (hm), and
 reports read tail percentiles per scheme — with and without erase
-suspension.
+suspension. The campaign runs through the evaluation-grid runner, so
+it can fan cells out across worker processes and resume from a result
+cache; serial, parallel, and cached runs print identical tables.
 
 Run:  python examples/tail_latency_study.py
+      python examples/tail_latency_study.py --workers 4
+      python examples/tail_latency_study.py --cache-dir .repro-cache
 """
 
+import argparse
+
 from repro.analysis.tables import format_table
-from repro.harness import run_workload_cell
+from repro.harness import GridRunner, ProcessExecutor, SerialExecutor
 
 
 SCHEMES = ("baseline", "aero_cons", "aero")
 PEC_POINTS = (500, 2500)
 WORKLOADS = ("ali.A", "hm")
 REQUESTS = 800
+SEED = 77
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for grid cells (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache finished cells here and resume on re-run",
+    )
+    args = parser.parse_args()
+
+    executor = (
+        ProcessExecutor(args.workers) if args.workers > 1 else SerialExecutor()
+    )
+    runner = GridRunner(executor=executor, cache_dir=args.cache_dir)
+
     print("Replaying traces on bench-scale SSDs (a minute or so)...\n")
     for suspension in (True, False):
+        grid = runner.run(
+            schemes=SCHEMES,
+            pec_points=PEC_POINTS,
+            workloads=WORKLOADS,
+            requests=REQUESTS,
+            erase_suspension=suspension,
+            seed=SEED,
+        )
         rows = []
         for workload in WORKLOADS:
             for pec in PEC_POINTS:
-                base_tail = None
+                base_tail = grid.report("baseline", pec, workload).read_tail(99.0)
                 for scheme in SCHEMES:
-                    report = run_workload_cell(
-                        scheme,
-                        pec,
-                        workload,
-                        requests=REQUESTS,
-                        erase_suspension=suspension,
-                        seed=77,
-                    )
+                    report = grid.report(scheme, pec, workload)
                     tail = report.read_tail(99.0)
-                    if scheme == "baseline":
-                        base_tail = tail
                     rows.append(
                         [
                             workload,
@@ -57,6 +79,10 @@ def main():
                 rows,
                 title=f"Read tail latency — erase suspension {mode}",
             )
+        )
+        print(
+            f"  (cells executed: {runner.stats.executed}, "
+            f"loaded from cache: {runner.stats.cached})"
         )
         print()
     print("AERO's shorter erases shrink the window in which a read can")

@@ -1,0 +1,70 @@
+"""Experiment harness: the paper's evaluation grid, cached and parallel.
+
+Runs (scheme x PEC-setpoint x workload) cells of the Section 7
+evaluation and assembles the normalized comparisons the paper's figures
+show. The package splits the old single-module harness into layers:
+
+* :mod:`repro.harness.cells` — one cell end to end
+  (``run_workload_cell``);
+* :mod:`repro.harness.grid` — :class:`EvaluationGrid` with an O(1)
+  ``(scheme, pec, workload)`` index and figure-shaped projections;
+* :mod:`repro.harness.executors` — :class:`SerialExecutor` /
+  :class:`ProcessExecutor`, the pluggable ``map`` strategies;
+* :mod:`repro.harness.cache` — :class:`ResultCache`, one JSON file per
+  finished cell, fingerprint-keyed, resume-friendly;
+* :mod:`repro.harness.runner` — :class:`GridRunner` and the
+  ``run_grid`` façade tying them together.
+
+Quick start::
+
+    from repro.harness import ProcessExecutor, run_grid
+
+    grid = run_grid(
+        workloads=("ali.A", "hm"),
+        requests=900,
+        executor=ProcessExecutor(4),      # fan cells out over 4 processes
+        cache_dir=".repro-cache",         # skip finished cells on re-run
+    )
+    print(grid.geomean_normalized(lambda r: r.read_tail(99.0), pec=500))
+
+Parallel, cached, and serial runs of the same campaign are
+bit-identical: cell seeds derive deterministically from the campaign
+seed via :func:`repro.rng.derive`, and each cell is a pure function of
+its inputs. ``from repro.harness import run_grid, run_workload_cell``
+keeps working exactly as it did when the harness was one module.
+"""
+
+from repro.harness.cache import CACHE_VERSION, ResultCache, cell_fingerprint
+from repro.harness.cells import (
+    PAPER_PEC_POINTS,
+    PAPER_SCHEMES,
+    run_workload_cell,
+)
+from repro.harness.executors import ProcessExecutor, SerialExecutor
+from repro.harness.grid import CellKey, EvaluationGrid, GridCell
+from repro.harness.runner import (
+    CellJob,
+    GridRunner,
+    RunStats,
+    execute_cell,
+    run_grid,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellJob",
+    "CellKey",
+    "EvaluationGrid",
+    "GridCell",
+    "GridRunner",
+    "PAPER_PEC_POINTS",
+    "PAPER_SCHEMES",
+    "ProcessExecutor",
+    "ResultCache",
+    "RunStats",
+    "SerialExecutor",
+    "cell_fingerprint",
+    "execute_cell",
+    "run_grid",
+    "run_workload_cell",
+]

@@ -1,0 +1,119 @@
+"""Persistent grid-cell result cache.
+
+Layout: one JSON file per finished cell, named ``<fingerprint>.json``
+inside the cache directory::
+
+    <cache_dir>/
+        2f1c9d...e0.json    {"version": 1, "meta": {...}, "report": {...}}
+        88ab03...71.json
+
+The fingerprint is a SHA-256 over everything that determines a cell's
+outcome — the resolved :class:`~repro.config.SsdSpec` (via its
+dataclass ``repr``, deterministic because every nested field is a
+frozen dataclass of plain values), the scheme, PEC setpoint, workload,
+request count, derived cell seed, and the remaining
+``run_workload_cell`` knobs — plus a format version. Any change to any
+input yields a different file name, so a cache directory can be shared
+across campaigns and machines without collisions.
+
+Resume semantics: the runner consults the cache before executing a
+cell and writes each finished report back immediately, so a campaign
+killed halfway resumes from its last completed cell on the next run —
+a warm cache replays an entire grid without executing anything. Writes
+are atomic (temp file + ``os.replace``) and corrupt or truncated
+entries are treated as misses and recomputed, never propagated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.config import SsdSpec
+from repro.ssd.metrics import PerfReport
+
+#: Bump when the cell-execution semantics or file format change; old
+#: entries then miss instead of returning stale results.
+CACHE_VERSION = 1
+
+
+def cell_fingerprint(
+    spec: SsdSpec,
+    scheme: str,
+    pec: int,
+    workload: str,
+    requests: int,
+    seed: int,
+    erase_suspension: bool = True,
+    footprint_fraction: float = 0.85,
+    precondition_fraction: float = 0.9,
+    mispredict_rate: float = 0.0,
+) -> str:
+    """Stable hash of every input that determines a cell's report."""
+    payload = "\n".join(
+        [
+            f"version={CACHE_VERSION}",
+            f"spec={spec!r}",
+            f"scheme={scheme}",
+            f"pec={pec}",
+            f"workload={workload}",
+            f"requests={requests}",
+            f"seed={seed}",
+            f"erase_suspension={erase_suspension}",
+            f"footprint_fraction={footprint_fraction!r}",
+            f"precondition_fraction={precondition_fraction!r}",
+            f"mispredict_rate={mispredict_rate!r}",
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of finished cell reports keyed by fingerprint."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def get(self, key: str) -> Optional[PerfReport]:
+        """Load a cached report; None on miss or unreadable entry."""
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("version") != CACHE_VERSION:
+                return None
+            return PerfReport.from_json_dict(data["report"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        key: str,
+        report: PerfReport,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Atomically persist one finished cell."""
+        data = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "meta": meta or {},
+            "report": report.to_json_dict(),
+        }
+        path = self.path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        os.replace(tmp, path)

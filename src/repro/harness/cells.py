@@ -1,0 +1,59 @@
+"""Single-cell evaluation: one (scheme, PEC, workload) experiment.
+
+``run_workload_cell`` is the unit of work of the Section 7 campaign:
+build an SSD at the wear point, precondition to steady state, replay a
+synthetic Table 3 workload, and return the performance report. It is a
+pure function of its arguments — the same arguments always produce the
+same :class:`~repro.ssd.metrics.PerfReport` — which is what makes grid
+cells safe to cache on disk and to fan out across worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SsdSpec
+from repro.rng import derive
+from repro.ssd.builder import build_ssd
+from repro.ssd.metrics import PerfReport
+from repro.workloads.profiles import WorkloadProfile, profile_by_abbr
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+#: The paper's evaluation PEC setpoints (Figure 14).
+PAPER_PEC_POINTS = (500, 2500, 4500)
+
+#: The paper's comparison schemes, in presentation order.
+PAPER_SCHEMES = ("baseline", "iispe", "dpes", "aero_cons", "aero")
+
+
+def run_workload_cell(
+    scheme: str,
+    pec: int,
+    workload: WorkloadProfile | str,
+    spec: Optional[SsdSpec] = None,
+    requests: int = 1200,
+    footprint_fraction: float = 0.85,
+    precondition_fraction: float = 0.9,
+    erase_suspension: bool = True,
+    seed: int = 0xAE20,
+    mispredict_rate: float = 0.0,
+) -> PerfReport:
+    """Run one evaluation cell and return its performance report."""
+    if isinstance(workload, str):
+        workload = profile_by_abbr(workload)
+    if spec is None:
+        spec = SsdSpec.small_test(seed=seed)
+    spec = spec.with_scheduler(erase_suspension=erase_suspension)
+    ssd = build_ssd(
+        spec, scheme, pec_setpoint=pec, mispredict_rate=mispredict_rate
+    )
+    ssd.precondition(
+        footprint_pages=int(spec.logical_pages * precondition_fraction)
+    )
+    generator = SyntheticTraceGenerator(
+        workload,
+        footprint_bytes=int(spec.logical_bytes * footprint_fraction),
+        seed=derive(seed, "trace", workload.abbr, pec),
+    )
+    trace = generator.generate(requests)
+    return ssd.run_trace(trace, workload_name=workload.abbr)

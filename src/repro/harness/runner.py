@@ -1,0 +1,264 @@
+"""Grid runner: cached, optionally parallel campaign execution.
+
+``GridRunner`` turns a (schemes x pec_points x workloads) request into
+an ordered list of independent cell jobs, satisfies as many as it can
+from the :class:`~repro.harness.cache.ResultCache`, fans the rest out
+through the configured executor, and assembles the
+:class:`~repro.harness.grid.EvaluationGrid` in the canonical
+pec -> workload -> scheme order regardless of completion order.
+
+Determinism: the runner derives one seed per (pec, workload) point via
+:func:`repro.rng.derive` — shared by every scheme at that point, so
+schemes are always compared on the *same* trace and device-variation
+draw, as in the paper — and each cell is a pure function of its job
+description. A ``ProcessExecutor`` grid is therefore bit-identical to
+a ``SerialExecutor`` grid, and a cached report is bit-identical to a
+recomputed one.
+
+Resume: pass ``cache_dir`` and every finished cell is persisted
+immediately; re-running the same campaign (same spec, schemes,
+setpoints, workloads, requests, seed) skips straight past completed
+cells, so an interrupted campaign continues where it stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.config import SsdSpec
+from repro.errors import ConfigError
+from repro.harness.cache import ResultCache, cell_fingerprint
+from repro.harness.cells import (
+    PAPER_PEC_POINTS,
+    PAPER_SCHEMES,
+    run_workload_cell,
+)
+from repro.harness.executors import ProcessExecutor, SerialExecutor
+from repro.harness.grid import EvaluationGrid, GridCell
+from repro.rng import derive
+from repro.ssd.metrics import PerfReport
+from repro.workloads.profiles import WorkloadProfile, profile_by_abbr
+
+Executor = Union[SerialExecutor, ProcessExecutor]
+
+
+@dataclass(frozen=True)
+class CellJob:
+    """Self-contained work order for one grid cell (picklable).
+
+    ``workload`` is the abbreviation used for labels and seed
+    derivation; ``profile`` carries a caller-supplied
+    :class:`WorkloadProfile` when it differs from the registry entry
+    for that abbreviation (and is folded into the fingerprint, so a
+    tweaked profile never collides with the stock workload's cache).
+    """
+
+    scheme: str
+    pec: int
+    workload: str
+    spec: SsdSpec
+    requests: int
+    erase_suspension: bool
+    seed: int
+    profile: Optional[WorkloadProfile] = None
+
+    @property
+    def fingerprint(self) -> str:
+        return cell_fingerprint(
+            spec=self.spec,
+            scheme=self.scheme,
+            pec=self.pec,
+            workload=(
+                self.workload if self.profile is None else repr(self.profile)
+            ),
+            requests=self.requests,
+            seed=self.seed,
+            erase_suspension=self.erase_suspension,
+        )
+
+
+def execute_cell(job: CellJob) -> PerfReport:
+    """Run one cell job (module-level so worker processes can import it)."""
+    return run_workload_cell(
+        job.scheme,
+        job.pec,
+        job.profile if job.profile is not None else job.workload,
+        spec=job.spec,
+        requests=job.requests,
+        erase_suspension=job.erase_suspension,
+        seed=job.seed,
+    )
+
+
+@dataclass
+class RunStats:
+    """Where the cells of the last campaign came from."""
+
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+
+class GridRunner:
+    """Executes evaluation grids through an executor and a cache."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.executor = executor or SerialExecutor()
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = RunStats()
+
+    # --- job planning -------------------------------------------------------
+
+    def plan(
+        self,
+        schemes: Sequence[str],
+        pec_points: Sequence[int],
+        workloads: Sequence[Union[str, WorkloadProfile]],
+        requests: int,
+        spec: Optional[SsdSpec],
+        erase_suspension: bool,
+        seed: int,
+    ) -> List[CellJob]:
+        """The campaign's jobs in canonical pec -> workload -> scheme order."""
+        jobs: List[CellJob] = []
+        for pec in pec_points:
+            for workload in workloads:
+                if isinstance(workload, WorkloadProfile):
+                    abbr = workload.abbr
+                    # A profile identical to the registry entry shares
+                    # the stock workload's cache; any tweak keeps the
+                    # object (and a distinct fingerprint).
+                    try:
+                        profile = (
+                            None
+                            if workload == profile_by_abbr(abbr)
+                            else workload
+                        )
+                    except ConfigError:
+                        profile = workload
+                else:
+                    abbr, profile = workload, None
+                # One seed per (pec, workload) point, shared by every
+                # scheme so they replay the same trace on the same
+                # device-variation draw.
+                cell_seed = derive(seed, "grid", pec, abbr)
+                cell_spec = (
+                    spec if spec is not None
+                    else SsdSpec.small_test(seed=cell_seed)
+                )
+                for scheme in schemes:
+                    jobs.append(
+                        CellJob(
+                            scheme=scheme,
+                            pec=pec,
+                            workload=abbr,
+                            spec=cell_spec,
+                            requests=requests,
+                            erase_suspension=erase_suspension,
+                            seed=cell_seed,
+                            profile=profile,
+                        )
+                    )
+        return jobs
+
+    # --- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        schemes: Sequence[str] = PAPER_SCHEMES,
+        pec_points: Sequence[int] = PAPER_PEC_POINTS,
+        workloads: Sequence[Union[str, WorkloadProfile]] = ("ali.A", "hm", "usr"),
+        requests: int = 1200,
+        spec: Optional[SsdSpec] = None,
+        erase_suspension: bool = True,
+        seed: int = 0xAE20,
+    ) -> EvaluationGrid:
+        """Run a campaign; cached cells load from disk, the rest execute."""
+        jobs = self.plan(
+            schemes, pec_points, workloads, requests, spec,
+            erase_suspension, seed,
+        )
+        reports: List[Optional[PerfReport]] = [None] * len(jobs)
+        pending: List[int] = []
+        if self.cache is not None:
+            for index, job in enumerate(jobs):
+                cached = self.cache.get(job.fingerprint)
+                if cached is not None:
+                    reports[index] = cached
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(jobs)))
+
+        # Stream results out of the executor and persist each one the
+        # moment it arrives, so an interrupted campaign keeps every
+        # completed cell and resumes from there.
+        fresh = self.executor.imap(execute_cell, [jobs[i] for i in pending])
+        for index, report in zip(pending, fresh):
+            reports[index] = report
+            if self.cache is not None:
+                job = jobs[index]
+                self.cache.put(
+                    job.fingerprint,
+                    report,
+                    meta={
+                        "scheme": job.scheme,
+                        "pec": job.pec,
+                        "workload": job.workload,
+                        "requests": job.requests,
+                        "seed": job.seed,
+                    },
+                )
+
+        self.stats = RunStats(
+            executed=len(pending), cached=len(jobs) - len(pending)
+        )
+        grid = EvaluationGrid()
+        for job, report in zip(jobs, reports):
+            grid.add(
+                GridCell(
+                    scheme=job.scheme,
+                    pec=job.pec,
+                    workload=job.workload,
+                    report=report,
+                )
+            )
+        return grid
+
+
+def run_grid(
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    pec_points: Sequence[int] = PAPER_PEC_POINTS,
+    workloads: Sequence[Union[str, WorkloadProfile]] = ("ali.A", "hm", "usr"),
+    requests: int = 1200,
+    spec: Optional[SsdSpec] = None,
+    erase_suspension: bool = True,
+    seed: int = 0xAE20,
+    executor: Optional[Executor] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> EvaluationGrid:
+    """Run a (scheme x pec x workload) grid.
+
+    The one-call façade over :class:`GridRunner`: pass ``executor``
+    (e.g. ``ProcessExecutor(4)``) to parallelize across processes and
+    ``cache_dir`` to persist/reuse finished cells.
+    """
+    runner = GridRunner(executor=executor, cache_dir=cache_dir)
+    return runner.run(
+        schemes=schemes,
+        pec_points=pec_points,
+        workloads=workloads,
+        requests=requests,
+        spec=spec,
+        erase_suspension=erase_suspension,
+        seed=seed,
+    )

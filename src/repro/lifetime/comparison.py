@@ -9,7 +9,7 @@ misprediction rate (Figure 16, lifetime panel) and RBER requirement
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.lifetime.simulator import LifetimeCurve, LifetimeSimulator
@@ -42,6 +42,34 @@ class SchemeComparison:
         )
 
 
+@dataclass(frozen=True)
+class _CurveJob:
+    """Picklable work order for one scheme's lifetime curve."""
+
+    profile: ChipProfile
+    key: str
+    block_count: int
+    step: int
+    seed: int
+    mispredict_rate: float
+    requirement: Optional[int]
+    max_pec: int
+
+
+def _run_curve(job: _CurveJob) -> LifetimeCurve:
+    """Cycle one block set to failure (module-level so workers can import it)."""
+    simulator = LifetimeSimulator(
+        job.profile,
+        job.key,
+        block_count=job.block_count,
+        step=job.step,
+        seed=job.seed,
+        mispredict_rate=job.mispredict_rate,
+        requirement=job.requirement,
+    )
+    return simulator.run(max_pec=job.max_pec)
+
+
 def compare_schemes(
     profile: ChipProfile,
     scheme_keys: Sequence[str] = SCHEME_KEYS,
@@ -51,20 +79,35 @@ def compare_schemes(
     max_pec: int = 12000,
     requirement: Optional[int] = None,
     mispredict_rate: float = 0.0,
+    executor: Optional[Any] = None,
 ) -> SchemeComparison:
-    """Run the Figure 13 campaign: one block set per erase scheme."""
+    """Run the Figure 13 campaign: one block set per erase scheme.
+
+    Each scheme's block set cycles independently, so the campaign fans
+    out across an executor from :mod:`repro.harness.executors` — pass
+    ``executor=ProcessExecutor(n)`` to run schemes concurrently; results
+    are identical to the serial run (each curve is a pure function of
+    its job).
+    """
     comparison = SchemeComparison(profile_name=profile.name)
-    for key in scheme_keys:
-        simulator = LifetimeSimulator(
-            profile,
-            key,
+    jobs = [
+        _CurveJob(
+            profile=profile,
+            key=key,
             block_count=block_count,
             step=step,
             seed=seed,
             mispredict_rate=mispredict_rate if key.startswith("aero") else 0.0,
             requirement=requirement,
+            max_pec=max_pec,
         )
-        comparison.curves[key] = simulator.run(max_pec=max_pec)
+        for key in scheme_keys
+    ]
+    if executor is None:
+        curves = [_run_curve(job) for job in jobs]
+    else:
+        curves = executor.map(_run_curve, jobs)
+    comparison.curves = dict(zip(scheme_keys, curves))
     return comparison
 
 

@@ -1,9 +1,16 @@
-"""Latency recording and performance reporting."""
+"""Latency recording and performance reporting.
+
+``PerfReport`` (and the ``LatencyRecorder`` samples inside it) can be
+serialized to a JSON-compatible dict and reconstructed exactly —
+``PerfReport.from_json_dict(report.to_json_dict()) == report`` — which
+is what lets the evaluation harness cache finished grid cells on disk
+and resume interrupted campaigns (see :mod:`repro.harness.cache`).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -59,6 +66,29 @@ class LatencyRecorder:
         out["max_us"] = self.max_us
         return out
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyRecorder):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    # --- serialization ------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form preserving every recorded sample."""
+        return {"name": self.name, "values": list(self._values)}
+
+    @classmethod
+    def from_values(
+        cls, name: str, values: Iterable[float]
+    ) -> "LatencyRecorder":
+        recorder = cls(name)
+        recorder._values = [float(v) for v in values]
+        return recorder
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "LatencyRecorder":
+        return cls.from_values(data["name"], data["values"])
+
 
 @dataclass
 class PerfReport:
@@ -104,6 +134,42 @@ class PerfReport:
         for key, value in self.writes.summary().items():
             out[f"write_{key}"] = value
         return out
+
+    # --- serialization ------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-compatible form (exact float round-trip)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "reads": self.reads.to_json_dict(),
+            "writes": self.writes.to_json_dict(),
+            "requests_completed": self.requests_completed,
+            "makespan_us": self.makespan_us,
+            "erases": self.erases,
+            "erase_busy_us": self.erase_busy_us,
+            "erase_suspensions": self.erase_suspensions,
+            "gc_jobs": self.gc_jobs,
+            "gc_page_moves": self.gc_page_moves,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "PerfReport":
+        return cls(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            reads=LatencyRecorder.from_json_dict(data["reads"]),
+            writes=LatencyRecorder.from_json_dict(data["writes"]),
+            requests_completed=int(data["requests_completed"]),
+            makespan_us=float(data["makespan_us"]),
+            erases=int(data["erases"]),
+            erase_busy_us=float(data["erase_busy_us"]),
+            erase_suspensions=int(data["erase_suspensions"]),
+            gc_jobs=int(data["gc_jobs"]),
+            gc_page_moves=int(data["gc_page_moves"]),
+            extra={k: float(v) for k, v in data.get("extra", {}).items()},
+        )
 
 
 def normalize(value: float, baseline: float) -> float:

@@ -1,0 +1,183 @@
+"""Determinism and cache regressions for the evaluation harness.
+
+The parallel runner and the result cache are only safe because every
+cell is a pure function of its inputs; these tests pin that property:
+same seed -> identical report, process grid == serial grid
+cell-for-cell, cached report == recomputed report, and a warm cache
+replays a campaign without executing anything.
+"""
+
+import pytest
+
+from repro.harness import (
+    GridRunner,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    cell_fingerprint,
+    run_grid,
+    run_workload_cell,
+)
+from repro.config import SsdSpec
+from repro.ssd.metrics import LatencyRecorder, PerfReport
+
+GRID_KWARGS = dict(
+    schemes=("baseline", "aero"),
+    pec_points=(500,),
+    workloads=("hm", "ali.A"),
+    requests=120,
+    seed=1234,
+)
+
+
+def test_same_seed_same_report():
+    a = run_workload_cell("aero", 500, "hm", requests=150, seed=11)
+    b = run_workload_cell("aero", 500, "hm", requests=150, seed=11)
+    assert a == b
+    assert a.reads.values == b.reads.values
+    assert a.writes.values == b.writes.values
+
+
+def test_different_seed_different_report():
+    a = run_workload_cell("aero", 500, "hm", requests=150, seed=11)
+    b = run_workload_cell("aero", 500, "hm", requests=150, seed=12)
+    assert a != b
+
+
+def test_process_grid_equals_serial_grid():
+    serial = GridRunner(executor=SerialExecutor())
+    parallel = GridRunner(executor=ProcessExecutor(2))
+    grid_s = serial.run(**GRID_KWARGS)
+    grid_p = parallel.run(**GRID_KWARGS)
+    assert len(grid_s.cells) == len(grid_p.cells) == 4
+    for cell_s, cell_p in zip(grid_s.cells, grid_p.cells):
+        assert cell_s.key == cell_p.key
+        assert cell_s.report == cell_p.report
+    assert grid_s == grid_p
+
+
+def test_warm_cache_executes_zero_cells(tmp_path):
+    cold = GridRunner(cache_dir=tmp_path)
+    grid_cold = cold.run(**GRID_KWARGS)
+    assert cold.stats.executed == 4
+    assert cold.stats.cached == 0
+
+    warm = GridRunner(cache_dir=tmp_path)
+    grid_warm = warm.run(**GRID_KWARGS)
+    assert warm.stats.executed == 0
+    assert warm.stats.cached == 4
+    assert grid_warm == grid_cold
+
+
+def test_cache_resumes_partial_campaign(tmp_path):
+    partial = GridRunner(cache_dir=tmp_path)
+    partial.run(
+        **{**GRID_KWARGS, "workloads": ("hm",)}
+    )
+    assert partial.stats.executed == 2
+
+    resumed = GridRunner(cache_dir=tmp_path)
+    resumed.run(**GRID_KWARGS)
+    # The two "hm" cells replay from disk; only "ali.A" cells execute.
+    assert resumed.stats.cached == 2
+    assert resumed.stats.executed == 2
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    runner = GridRunner(cache_dir=tmp_path)
+    runner.run(**GRID_KWARGS)
+    for path in tmp_path.glob("*.json"):
+        path.write_text("{ truncated", encoding="utf-8")
+    rerun = GridRunner(cache_dir=tmp_path)
+    rerun.run(**GRID_KWARGS)
+    assert rerun.stats.executed == 4
+
+
+def test_cached_grid_equals_uncached_grid(tmp_path):
+    plain = run_grid(**GRID_KWARGS)
+    cached = run_grid(**GRID_KWARGS, cache_dir=tmp_path)
+    reloaded = run_grid(**GRID_KWARGS, cache_dir=tmp_path)
+    assert plain == cached == reloaded
+
+
+def test_perf_report_json_round_trip():
+    report = run_workload_cell("aero", 500, "hm", requests=120, seed=5)
+    clone = PerfReport.from_json_dict(report.to_json_dict())
+    assert clone == report
+    assert clone.reads.percentile(99.0) == report.reads.percentile(99.0)
+    assert clone.iops == report.iops
+    assert clone.extra == report.extra
+
+
+def test_json_round_trip_survives_json_text():
+    import json
+
+    report = run_workload_cell("baseline", 2500, "usr", requests=100, seed=8)
+    text = json.dumps(report.to_json_dict())
+    clone = PerfReport.from_json_dict(json.loads(text))
+    assert clone == report
+
+
+def test_latency_recorder_equality():
+    a = LatencyRecorder.from_values("reads", [1.0, 2.5])
+    b = LatencyRecorder.from_values("reads", [1.0, 2.5])
+    c = LatencyRecorder.from_values("reads", [1.0, 2.5, 3.0])
+    assert a == b
+    assert a != c
+    assert a != "reads"
+
+
+def test_result_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    report = run_workload_cell("aero", 500, "hm", requests=100, seed=3)
+    cache.put("abc123", report, meta={"scheme": "aero"})
+    assert "abc123" in cache
+    assert len(cache) == 1
+    assert cache.get("abc123") == report
+    assert cache.get("missing") is None
+
+
+def test_custom_workload_profile_runs_and_gets_own_cache_key(tmp_path):
+    from repro.workloads.profiles import WorkloadProfile, profile_by_abbr
+
+    custom = WorkloadProfile("synthetic", "custom_0", "cst", 0.5, 16.0, 50.0)
+    tweaked_hm = WorkloadProfile("msrc", "hm_0", "hm", 0.75, 8.0, 151.5,
+                                 acceleration=10.0)
+    runner = GridRunner(cache_dir=tmp_path)
+    kwargs = dict(schemes=("baseline",), pec_points=(500,), requests=100,
+                  seed=3)
+    grid = runner.run(workloads=(custom,), **kwargs)
+    assert grid.report("baseline", 500, "cst").workload == "cst"
+
+    # A tweaked profile reusing a registry abbr must not be silently
+    # replaced by the stock workload, nor share its cache entry.
+    grid_tweaked = runner.run(workloads=(tweaked_hm,), **kwargs)
+    assert runner.stats.executed == 1
+    grid_stock = runner.run(workloads=("hm",), **kwargs)
+    assert runner.stats.executed == 1  # distinct fingerprint: no reuse
+    assert grid_tweaked != grid_stock
+
+    # A profile equal to the registry entry shares the stock cache.
+    runner.run(workloads=(profile_by_abbr("hm"),), **kwargs)
+    assert runner.stats.executed == 0
+    assert runner.stats.cached == 1
+
+
+def test_fingerprint_sensitivity():
+    spec = SsdSpec.small_test(seed=1)
+    base = dict(
+        spec=spec, scheme="aero", pec=500, workload="hm",
+        requests=100, seed=1,
+    )
+    reference = cell_fingerprint(**base)
+    assert cell_fingerprint(**base) == reference
+    for change in (
+        {"scheme": "baseline"},
+        {"pec": 2500},
+        {"workload": "usr"},
+        {"requests": 101},
+        {"seed": 2},
+        {"spec": SsdSpec.small_test(seed=2)},
+    ):
+        assert cell_fingerprint(**{**base, **change}) != reference
+    assert cell_fingerprint(**base, erase_suspension=False) != reference

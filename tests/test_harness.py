@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness import EvaluationGrid, run_grid, run_workload_cell
+from repro.harness import EvaluationGrid, GridCell, run_grid, run_workload_cell
 
 
 @pytest.fixture(scope="module")
@@ -60,3 +60,46 @@ def test_empty_grid():
     grid = EvaluationGrid()
     assert grid.schemes() == []
     assert grid.workloads() == []
+
+
+def test_report_lookup_uses_index(small_grid):
+    # add() populated the keyed index alongside the cell list.
+    assert len(small_grid._index) == len(small_grid.cells)
+    report = small_grid.report("baseline", 500, "hm")
+    assert report.scheme == "baseline"
+
+
+def test_in_place_cell_replacement_resolves_fresh(small_grid):
+    grid = EvaluationGrid()
+    for cell in small_grid.cells:
+        grid.add(cell)
+    grid.report("baseline", 500, "hm")  # prime the index
+    swapped = GridCell("baseline", 500, "hm", small_grid.cells[1].report)
+    position = [c.scheme for c in grid.cells].index("baseline")
+    grid.cells[position] = swapped
+    assert grid.report("baseline", 500, "hm") is swapped.report
+
+
+def test_duplicate_key_keeps_first_match_and_index(small_grid):
+    # The pre-index linear scan returned the first matching cell;
+    # duplicates must preserve that and not degrade later lookups.
+    grid = EvaluationGrid()
+    first = small_grid.cells[0]
+    shadow = GridCell(first.scheme, first.pec, first.workload,
+                      small_grid.cells[1].report)
+    grid.add(first)
+    grid.add(shadow)
+    assert grid.report(*first.key) is first.report
+    assert grid._indexed == len(grid.cells)
+
+
+def test_direct_cell_append_still_resolves(small_grid):
+    # Legacy code appended to .cells directly; report() must detect the
+    # stale index and rebuild it rather than miss the new cell.
+    grid = EvaluationGrid()
+    grid.cells.extend(small_grid.cells)
+    assert grid.report("aero", 500, "hm").scheme == "aero"
+    grid.cells.append(GridCell("fake", 999, "zz", grid.cells[0].report))
+    assert grid.report("fake", 999, "zz") is grid.cells[0].report
+    with pytest.raises(KeyError):
+        grid.report("fake", 999, "missing")

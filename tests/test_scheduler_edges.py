@@ -138,6 +138,66 @@ def test_erase_busy_time_accounted():
     assert executor.erase_busy_us == pytest.approx(3500.0 + 100.0)
 
 
+def test_read_storm_respects_cap_and_erase_completes():
+    """A sustained user-read storm cannot starve an erase past the cap.
+
+    After ``max_suspensions_per_erase`` suspensions the erase runs its
+    remaining segments to completion while later reads wait it out.
+    """
+    spec = SsdSpec.small_test().with_scheduler(max_suspensions_per_erase=2)
+    sim, executor, done = make_executor(spec)
+    executor.submit(erase_txn(pulse_ms=(3.5, 3.5, 3.5)))
+    storm = 40
+    for i in range(storm):
+        sim.at(100.0 + 250.0 * i, lambda: executor.submit(read_txn()))
+    sim.run()
+    # The cap bounded the suspensions and the erase still finished.
+    assert executor.erase_suspensions == 2
+    assert executor.erases_completed == 1
+    kinds = [t.kind for t in done]
+    assert kinds.count(TxnKind.READ) == storm
+    assert kinds.count(TxnKind.ERASE) == 1
+    # Reads kept arriving after the cap was reached, so some of them
+    # completed only after the erase (they waited it out).
+    assert kinds.index(TxnKind.ERASE) < len(kinds) - 1
+
+
+def test_erase_busy_excludes_wait_includes_resume_overhead():
+    """Resume accounting: busy time = all segments + one ramp overhead.
+
+    The time the erase spends *suspended* (servicing the read) must not
+    count as erase busy time; the resume ramp overhead must.
+    """
+    sim, executor, done = make_executor()
+    executor.submit(erase_txn())  # 2 x 3500 us pulses + 2 x 100 us verifies
+    sim.at(1000.0, lambda: executor.submit(read_txn()))
+    sim.run()
+    assert executor.erase_suspensions == 1
+    spec = SsdSpec.small_test()
+    segments_us = 2 * 3500.0 + 2 * 100.0
+    assert executor.erase_busy_us == pytest.approx(
+        segments_us + spec.scheduler.suspend_overhead_us
+    )
+    # Busy time is strictly less than the wall-clock span of the
+    # operation (the suspension window served the read instead).
+    assert executor.erase_busy_us < sim.now
+
+
+def test_erase_busy_accumulates_one_overhead_per_resume():
+    sim, executor, done = make_executor()  # default cap: 2 suspensions
+    executor.submit(erase_txn(pulse_ms=(3.5, 3.5, 3.5)))
+    # Two reads far enough apart that each triggers its own suspension.
+    sim.at(1000.0, lambda: executor.submit(read_txn()))
+    sim.at(6000.0, lambda: executor.submit(read_txn()))
+    sim.run()
+    assert executor.erase_suspensions == 2
+    spec = SsdSpec.small_test()
+    segments_us = 3 * 3500.0 + 3 * 100.0
+    assert executor.erase_busy_us == pytest.approx(
+        segments_us + 2 * spec.scheduler.suspend_overhead_us
+    )
+
+
 def test_multiple_reads_during_one_suspension():
     sim, executor, done = make_executor()
     executor.submit(erase_txn())

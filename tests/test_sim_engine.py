@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError
+from repro.rng import make_rng
 from repro.sim.engine import Simulator
 
 
@@ -98,3 +99,109 @@ def test_step_returns_false_when_empty():
     sim.at(1.0, lambda: None)
     assert sim.step() is True
     assert sim.step() is False
+
+
+# --- property-style checks over random schedules -------------------------------
+
+
+def test_property_fifo_tiebreak_random_schedules():
+    """Events always fire sorted by (time, submission order).
+
+    Random schedules draw times from a tiny domain so many events
+    collide on the same instant; the firing order must equal a stable
+    sort of the submission order by time.
+    """
+    rng = make_rng(0x51E)
+    for _ in range(25):
+        sim = Simulator()
+        times = rng.integers(0, 8, size=50)
+        fired = []
+        for index, time in enumerate(times):
+            sim.at(float(time), lambda t=int(time), i=index: fired.append((t, i)))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == 50
+
+
+def test_property_cancellation_random_subsets():
+    """Cancelled events never fire; survivors keep their FIFO order."""
+    rng = make_rng(0xCA9C)
+    for _ in range(25):
+        sim = Simulator()
+        times = rng.integers(0, 8, size=40)
+        cancel_mask = rng.random(40) < 0.4
+        fired = []
+        events = []
+        for index, time in enumerate(times):
+            events.append(
+                sim.at(float(time), lambda t=int(time), i=index: fired.append((t, i)))
+            )
+        for event, cancel in zip(events, cancel_mask):
+            if cancel:
+                event.cancel()
+        sim.run()
+        expected = sorted(
+            (int(t), i)
+            for i, (t, cancel) in enumerate(zip(times, cancel_mask))
+            if not cancel
+        )
+        assert fired == expected
+
+
+def test_cancel_after_firing_is_a_noop():
+    sim = Simulator()
+    fired = []
+    event = sim.at(1.0, lambda: fired.append("x"))
+    sim.run()
+    assert fired == ["x"]
+    event.cancel()  # already fired: must not raise or un-fire
+    event.cancel()  # idempotent
+    assert fired == ["x"]
+    assert sim.step() is False
+
+
+def test_cancel_twice_before_firing_is_idempotent():
+    sim = Simulator()
+    fired = []
+    event = sim.at(1.0, lambda: fired.append("x"))
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert event.cancelled
+
+
+def test_property_run_until_clamps_and_preserves_later_events():
+    """run(until=h) fires exactly the events with time <= h, sets now == h,
+    and leaves every later event queued and still runnable."""
+    rng = make_rng(0x0717)
+    for _ in range(25):
+        sim = Simulator()
+        times = sorted(float(t) for t in rng.integers(0, 100, size=30))
+        horizon = float(rng.integers(0, 100))
+        fired = []
+        for time in times:
+            sim.at(time, lambda t=time: fired.append(t))
+        sim.run(until=horizon)
+        assert fired == [t for t in times if t <= horizon]
+        assert sim.now == horizon
+        sim.run()
+        assert fired == times
+        assert sim.now == max([horizon] + times)
+
+
+def test_run_until_fires_event_exactly_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.at(50.0, lambda: fired.append("edge"))
+    sim.run(until=50.0)
+    assert fired == ["edge"]
+    assert sim.now == 50.0
+
+
+def test_run_until_on_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=25.0)
+    assert sim.now == 25.0
+    sim.run(until=10.0)  # horizon in the past: clock never goes backwards
+    assert sim.now == 25.0
