@@ -21,6 +21,7 @@ import os
 
 import pytest
 
+from repro.experiments import WORKLOADS
 from repro.harness import GridRunner, ProcessExecutor, SerialExecutor
 
 
@@ -40,12 +41,13 @@ def once(benchmark):
 
 @pytest.fixture(scope="session")
 def bench_workloads():
-    """Workload subset for system-level benches (full grid via env)."""
+    """Workload subset for system-level benches (full grid via env).
+
+    The full grid is registry-derived, so plugin workloads registered
+    before the session automatically join full-scale campaigns.
+    """
     if full_scale():
-        return (
-            "ali.A", "ali.B", "ali.C", "ali.D", "ali.E",
-            "rsrch", "stg", "hm", "prxy", "proj", "usr",
-        )
+        return WORKLOADS.keys()
     return ("ali.A", "ali.B", "hm", "prxy", "usr")
 
 

@@ -10,11 +10,15 @@ Reproduces the paper's deployment methodology (Section 5 -> Table 1):
    aggressive EPT from the ECC-capability-margin analysis;
 4. print both tables next to the published Table 1.
 
+The EPTs built here feed the ``aero``/``aero_cons`` factories in the
+scheme registry — `python -m repro compare` and every experiment spec
+run the schemes this characterization parameterizes.
+
 Run:  python examples/characterize_chip.py [chip-name]
       chip-name in {3D-TLC-48L, 2D-TLC-2xnm, 3D-MLC-48L}
 """
 
-import sys
+import argparse
 
 from repro.characterization import TestPlatform, failbit_linearity, felp_accuracy
 from repro.core.ept import (
@@ -24,12 +28,18 @@ from repro.core.ept import (
     published_aggressive_table,
     published_conservative_table,
 )
-from repro.nand.chip_types import profile_by_name
+from repro.nand.chip_types import builtin_profiles, profile_by_name
 
 
 def main():
-    name = sys.argv[1] if len(sys.argv) > 1 else "3D-TLC-48L"
-    profile = profile_by_name(name)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "chip", nargs="?", default="3D-TLC-48L", metavar="chip-name",
+        choices=[profile.name for profile in builtin_profiles()],
+        help="chip family to characterize (default: 3D-TLC-48L)",
+    )
+    args = parser.parse_args()
+    profile = profile_by_name(args.chip)
     print(f"Characterizing {profile.name} "
           f"({profile.bits_per_cell} bits/cell, {'3D' if profile.is_3d else '2D'})\n")
 

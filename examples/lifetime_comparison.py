@@ -8,7 +8,11 @@ result (AERO +43 %, AEROcons +30 %, DPES +26 %, i-ISPE -25 % vs the
 
 Each scheme's block set cycles independently, so the campaign fans out
 across worker processes with ``--workers`` (identical results either
-way).
+way). Scheme keys resolve through the plugin registry, so
+``--schemes`` accepts any registered scheme. The equivalent shell
+command is::
+
+    python -m repro compare --blocks 48 --step 50 --seed 1
 
 Run:  python examples/lifetime_comparison.py
       python examples/lifetime_comparison.py --workers 5
@@ -16,6 +20,7 @@ Run:  python examples/lifetime_comparison.py
 
 import argparse
 
+from repro import SCHEME_KEYS
 from repro.analysis.tables import format_table
 from repro.harness import ProcessExecutor
 from repro.lifetime import compare_schemes
@@ -28,23 +33,37 @@ def main():
         "--workers", type=int, default=1,
         help="worker processes, one scheme each (default: serial)",
     )
+    parser.add_argument(
+        "--schemes", default=",".join(SCHEME_KEYS),
+        help="comma-separated scheme keys (first is the baseline)",
+    )
     args = parser.parse_args()
     executor = ProcessExecutor(args.workers) if args.workers > 1 else None
+    scheme_keys = tuple(key for key in args.schemes.split(",") if key)
+    if not scheme_keys:
+        parser.error("--schemes needs at least one scheme key")
 
     print("Cycling five 48-block sets to failure (this takes a few seconds)...\n")
     comparison = compare_schemes(
-        TLC_3D_48L, block_count=48, step=50, seed=1, executor=executor
+        TLC_3D_48L, scheme_keys=scheme_keys, block_count=48, step=50,
+        seed=1, executor=executor,
     )
 
-    base = comparison.lifetime("baseline")
+    base = comparison.curves[scheme_keys[0]].lifetime_pec
     rows = []
-    for key in ("baseline", "iispe", "dpes", "aero_cons", "aero"):
+    for key in scheme_keys:
         curve = comparison.curves[key]
+        if key == scheme_keys[0] or base is None:
+            delta = "--"
+        elif curve.lifetime_pec is None:
+            delta = "never crossed"
+        else:
+            delta = f"{curve.lifetime_pec / base - 1:+.1%}"
         rows.append(
             [
                 key,
-                curve.lifetime_pec,
-                "--" if key == "baseline" else f"{curve.lifetime_pec / base - 1:+.1%}",
+                curve.lifetime_pec if curve.lifetime_pec is not None else ">max",
+                delta,
                 round(curve.mrber_at(250), 1),
                 round(curve.mrber_at(2000), 1),
                 round(curve.mrber_at(4000), 1),

@@ -9,7 +9,7 @@ prediction, aggressive acceptance).
 Run:  python examples/quickstart.py
 """
 
-from repro import Block, TLC_3D_48L, make_scheme
+from repro import Block, SCHEMES, TLC_3D_48L
 from repro.nand.geometry import BlockAddress
 from repro.rng import make_rng
 
@@ -19,7 +19,7 @@ def erase_once(scheme_key: str, pec: int, rng):
     block = Block(BlockAddress(0, 0, 0, 7), TLC_3D_48L, pages=64, seed=2024)
     block.wear.age_kilocycles = pec / 1000.0  # Baseline-cycled history
     block.wear.pec = pec
-    scheme = make_scheme(TLC_3D_48L, scheme_key)
+    scheme = SCHEMES.create(scheme_key, TLC_3D_48L)
     result = scheme.erase(block, rng)
     return result
 

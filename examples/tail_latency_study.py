@@ -4,9 +4,14 @@
 Builds bench-scale SSDs at three wear points, replays a write-heavy
 datacenter workload (ali.A) and a mixed enterprise workload (hm), and
 reports read tail percentiles per scheme — with and without erase
-suspension. The campaign runs through the evaluation-grid runner, so
-it can fan cells out across worker processes and resume from a result
-cache; serial, parallel, and cached runs print identical tables.
+suspension. The campaign is described declaratively: one
+:class:`repro.ExperimentSpec` per cell, executed through
+``run_experiments`` so it fans out across worker processes and resumes
+from a result cache; serial, parallel, and cached runs print identical
+tables. The equivalent shell command is::
+
+    python -m repro grid --schemes baseline,aero_cons,aero \\
+        --pecs 500,2500 --workloads ali.A,hm --requests 800 --seed 77
 
 Run:  python examples/tail_latency_study.py
       python examples/tail_latency_study.py --workers 4
@@ -15,8 +20,10 @@ Run:  python examples/tail_latency_study.py
 
 import argparse
 
+from repro import ExperimentSpec
 from repro.analysis.tables import format_table
-from repro.harness import GridRunner, ProcessExecutor, SerialExecutor
+from repro.experiments import run_experiments
+from repro.harness import ProcessExecutor, SerialExecutor
 
 
 SCHEMES = ("baseline", "aero_cons", "aero")
@@ -41,18 +48,26 @@ def main():
     executor = (
         ProcessExecutor(args.workers) if args.workers > 1 else SerialExecutor()
     )
-    runner = GridRunner(executor=executor, cache_dir=args.cache_dir)
 
     print("Replaying traces on bench-scale SSDs (a minute or so)...\n")
     for suspension in (True, False):
-        grid = runner.run(
-            schemes=SCHEMES,
-            pec_points=PEC_POINTS,
-            workloads=WORKLOADS,
-            requests=REQUESTS,
-            erase_suspension=suspension,
-            seed=SEED,
+        specs = [
+            ExperimentSpec(
+                scheme=scheme,
+                pec=pec,
+                workload=workload,
+                requests=REQUESTS,
+                seed=SEED,
+                erase_suspension=suspension,
+            )
+            for pec in PEC_POINTS
+            for workload in WORKLOADS
+            for scheme in SCHEMES
+        ]
+        result = run_experiments(
+            specs, executor=executor, cache_dir=args.cache_dir
         )
+        grid = result.grid
         rows = []
         for workload in WORKLOADS:
             for pec in PEC_POINTS:
@@ -81,8 +96,8 @@ def main():
             )
         )
         print(
-            f"  (cells executed: {runner.stats.executed}, "
-            f"loaded from cache: {runner.stats.cached})"
+            f"  (cells executed: {result.stats.executed}, "
+            f"loaded from cache: {result.stats.cached})"
         )
         print()
     print("AERO's shorter erases shrink the window in which a read can")

@@ -14,13 +14,13 @@ Run:  python examples/trace_replay.py [trace.csv] [--scheme aero]
 import argparse
 from pathlib import Path
 
-from repro import SsdSpec, build_ssd
+from repro import ALL_SCHEME_KEYS, SsdSpec, build_ssd
+from repro.experiments import WORKLOADS
 from repro.ftl.aeroftl import AeroFtl
 from repro.workloads import (
     SyntheticTraceGenerator,
     load_alibaba_csv,
     load_msrc_csv,
-    profile_by_abbr,
 )
 
 
@@ -36,7 +36,11 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", nargs="?", help="MSRC/Alibaba CSV trace")
     parser.add_argument("--scheme", default="aero",
-                        choices=["baseline", "iispe", "dpes", "aero_cons", "aero"])
+                        choices=list(ALL_SCHEME_KEYS),
+                        help="erase scheme (from the scheme registry)")
+    parser.add_argument("--workload", default="prxy",
+                        choices=list(WORKLOADS.keys()),
+                        help="Table 3 profile to synthesize when no trace file")
     parser.add_argument("--pec", type=int, default=500,
                         help="wear setpoint in P/E cycles")
     parser.add_argument("--requests", type=int, default=1000)
@@ -57,12 +61,12 @@ def main():
         print(f"Loaded {len(trace)} requests from {args.trace}")
     else:
         generator = SyntheticTraceGenerator(
-            profile_by_abbr("prxy"),
+            WORKLOADS.resolve(args.workload),
             footprint_bytes=int(spec.logical_bytes * 0.85),
             seed=5,
         )
         trace = generator.generate(args.requests)
-        print(f"Synthesized {len(trace)} 'prxy' requests "
+        print(f"Synthesized {len(trace)} {args.workload!r} requests "
               f"(read ratio {trace.read_ratio:.0%})")
 
     report = ssd.run_trace(trace)

@@ -8,19 +8,31 @@ baseline (ISPE, m-ISPE, i-ISPE, DPES), a calibrated statistical NAND
 device model standing in for the paper's 160 real chips, a page-level
 FTL, and an event-driven multi-channel SSD simulator.
 
+The declarative experiment API (:mod:`repro.experiments`) is the front
+door: an :class:`ExperimentSpec` describes one (scheme, PEC, workload)
+cell, the :data:`SCHEMES` / :data:`WORKLOADS` plugin registries resolve
+every string key, and results flow through a fingerprint-keyed cache
+shared by the Python API and the ``python -m repro`` CLI.
+
 Quick start::
 
-    from repro import SsdSpec, build_ssd
-    from repro.workloads import SyntheticTraceGenerator, profile_by_abbr
+    from repro import Experiment
 
-    spec = SsdSpec.bench()
-    ssd = build_ssd(spec, "aero", pec_setpoint=500)
-    ssd.precondition()
-    gen = SyntheticTraceGenerator(
-        profile_by_abbr("ali.A"), footprint_bytes=spec.logical_bytes
-    )
-    report = ssd.run_trace(gen.generate(5000))
+    report = (Experiment.aero()
+              .at_pec(2500)
+              .workload("ali.A")
+              .requests(5000)
+              .run(cache_dir=".repro-cache"))
     print(report.reads.percentile(99.99))
+
+or, equivalently, from the shell::
+
+    python -m repro run --scheme aero --pec 2500 --workload ali.A \\
+        --requests 5000 --cache-dir .repro-cache
+
+The lower layers remain importable directly — ``build_ssd`` for a live
+:class:`Ssd` object, ``make_scheme`` for a bare erase scheme,
+``repro.harness.run_grid`` for campaign grids.
 """
 
 from repro.config import GcSpec, SchedulerSpec, SsdSpec
@@ -52,12 +64,16 @@ from repro.nand import (
     TLC_2D_2XNM,
     TLC_3D_48L,
 )
-from repro.schemes import SCHEME_KEYS, make_scheme
+from repro.schemes import ALL_SCHEME_KEYS, SCHEME_KEYS, make_scheme
 from repro.ssd import Ssd, build_ssd
+from repro.experiments import SCHEMES, WORKLOADS
+from repro.experiments.spec import Experiment, ExperimentSpec
+from repro.experiments.runner import run_experiment, run_experiments
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ALL_SCHEME_KEYS",
     "AeroEraseScheme",
     "BaselineIspeScheme",
     "Block",
@@ -66,6 +82,8 @@ __all__ = [
     "EraseOperationResult",
     "EraseScheme",
     "EraseTimingTable",
+    "Experiment",
+    "ExperimentSpec",
     "FelpPredictor",
     "GcSpec",
     "IntelligentIspeScheme",
@@ -74,6 +92,7 @@ __all__ = [
     "NandChip",
     "NandGeometry",
     "RberModel",
+    "SCHEMES",
     "SCHEME_KEYS",
     "SchedulerSpec",
     "ShallowEraseFlags",
@@ -81,11 +100,14 @@ __all__ = [
     "SsdSpec",
     "TLC_2D_2XNM",
     "TLC_3D_48L",
+    "WORKLOADS",
     "build_aggressive_table",
     "build_conservative_table",
     "build_ssd",
     "make_scheme",
     "published_aggressive_table",
     "published_conservative_table",
+    "run_experiment",
+    "run_experiments",
     "__version__",
 ]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — run, compare, and cache AERO experiments."""
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,531 @@
+"""``python -m repro`` — the command-line face of the experiment API.
+
+Four subcommands cover the paper's evaluation surface:
+
+* ``run``     — execute one experiment (flags or ``--spec-file`` JSON);
+* ``grid``    — a (schemes x PECs x workloads) campaign with the
+  normalized read-tail table the figures use;
+* ``compare`` — the Figure 13 lifetime comparison across schemes;
+* ``cache``   — inspect (``ls``) and prune (``gc``) the result cache.
+
+Everything resolves through the plugin registries, honours
+``--workers`` (process fan-out) and ``--cache-dir`` (persistent result
+cache, shared with the Python API), and exits 2 on configuration
+errors with the registry's rich unknown-key messages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.config import SsdSpec
+from repro.errors import ConfigError, ReproError
+from repro.experiments.registry import SCHEMES, WORKLOADS
+from repro.experiments.runner import run_experiments
+from repro.experiments.spec import ExperimentSpec, load_spec_file
+from repro.harness.cache import ResultCache
+from repro.harness.executors import ProcessExecutor, SerialExecutor
+
+_SSD_PRESETS = {
+    "small": SsdSpec.small_test,
+    "bench": SsdSpec.bench,
+    "paper": lambda seed=0xAE20: SsdSpec.paper_table2(),
+}
+
+
+def _make_executor(workers: int):
+    return ProcessExecutor(workers) if workers > 1 else SerialExecutor()
+
+
+def _parse_age(text: str) -> float:
+    """Parse ``90``, ``90s``, ``15m``, ``2h``, or ``7d`` into seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    text = text.strip().lower()
+    suffix = text[-1:] if text[-1:] in units else ""
+    number = text[: len(text) - len(suffix)] if suffix else text
+    try:
+        value = float(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r}; use e.g. 90, 90s, 15m, 2h, or 7d"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("age must be >= 0")
+    return value * units.get(suffix, 1.0)
+
+
+def _format_age(seconds: float) -> str:
+    for unit, span in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= span:
+            return f"{seconds / span:.1f}{unit}"
+    return f"{seconds:.0f}s"
+
+
+def _parse_param(text: str) -> tuple:
+    """Parse a ``--param key=value`` pair; values decode as JSON."""
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"invalid param {text!r}; expected key=value"
+        )
+    try:
+        return key, json.loads(value)
+    except ValueError:
+        return key, value  # bare strings stay strings
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    try:
+        return [int(item) for item in _csv(text)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid integer list {text!r}"
+        ) from None
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for cell fan-out (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persist finished cells here and reuse them on re-run",
+    )
+
+
+def _spec_from_flags(args: argparse.Namespace) -> ExperimentSpec:
+    params: Dict[str, Any] = dict(args.param or [])
+    if args.mispredict_rate:
+        params.setdefault("mispredict_rate", args.mispredict_rate)
+    if args.rber_requirement is not None:
+        params.setdefault("rber_requirement", args.rber_requirement)
+    ssd = None
+    if args.ssd != "default":
+        ssd = _SSD_PRESETS[args.ssd](seed=args.seed)
+    return ExperimentSpec(
+        scheme=args.scheme,
+        scheme_params=params,
+        pec=args.pec,
+        workload=args.workload,
+        requests=args.requests,
+        seed=args.seed,
+        erase_suspension=not args.no_suspension,
+        ssd=ssd,
+    ).validate()
+
+
+# --- run ---------------------------------------------------------------------
+
+
+#: Experiment-describing `run` flags and their defaults; mutually
+#: exclusive with --spec-file (a spec file fully describes the run).
+_RUN_FLAG_DEFAULTS = {
+    "scheme": "aero",
+    "pec": 2500,
+    "workload": "ali.A",
+    "requests": 1200,
+    "seed": 0xAE20,
+    "no_suspension": False,
+    "mispredict_rate": 0.0,
+    "rber_requirement": None,
+    "param": None,
+    "ssd": "default",
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.spec_file:
+        overridden = [
+            f"--{name.replace('_', '-')}"
+            for name, default in _RUN_FLAG_DEFAULTS.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            raise ConfigError(
+                "--spec-file fully describes the experiment; drop the "
+                f"conflicting flags: {', '.join(overridden)}"
+            )
+        specs = load_spec_file(args.spec_file)
+        for spec in specs:
+            spec.validate()
+    else:
+        specs = [_spec_from_flags(args)]
+    result = run_experiments(
+        specs,
+        executor=_make_executor(args.workers),
+        cache_dir=args.cache_dir,
+    )
+    if args.json:
+        payload = [
+            {
+                "spec": spec.to_dict(),
+                "fingerprint": job.fingerprint,
+                "report": report.to_json_dict(),
+            }
+            for spec, job, report in zip(
+                result.specs, result.jobs, result.reports
+            )
+        ]
+        print(json.dumps(payload if len(payload) > 1 else payload[0], indent=2))
+        return 0
+    rows = []
+    for spec, report in zip(result.specs, result.reports):
+        rows.append(
+            [
+                spec.scheme,
+                spec.pec,
+                spec.workload,
+                spec.requests,
+                f"{report.reads.mean_us:.0f} us",
+                f"{report.reads.percentile(99.0) / 1000:.2f} ms",
+                f"{report.iops:,.0f}",
+                report.erases,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "PEC", "workload", "requests",
+             "read mean", "p99 read", "IOPS", "erases"],
+            rows,
+            title="Experiment results",
+        )
+    )
+    print(
+        f"  cells executed: {result.stats.executed}, "
+        f"served from cache: {result.stats.cached}"
+    )
+    return 0
+
+
+# --- grid --------------------------------------------------------------------
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    if not args.schemes or not args.pecs or not args.workloads:
+        raise ConfigError("grid needs at least one scheme, pec, and workload")
+    for scheme in args.schemes:
+        SCHEMES.get(scheme)
+    for workload in args.workloads:
+        WORKLOADS.resolve(workload)
+    specs = [
+        ExperimentSpec(
+            scheme=scheme,
+            pec=pec,
+            workload=workload,
+            requests=args.requests,
+            seed=args.seed,
+            erase_suspension=not args.no_suspension,
+        )
+        for pec in args.pecs
+        for workload in args.workloads
+        for scheme in args.schemes
+    ]
+    result = run_experiments(
+        specs,
+        executor=_make_executor(args.workers),
+        cache_dir=args.cache_dir,
+    )
+    grid = result.grid
+    baseline = args.schemes[0]
+    for pec in args.pecs:
+        rows = []
+        table = grid.normalized_read_tail(args.percentile, pec, baseline)
+        for workload in args.workloads:
+            rows.append(
+                [workload]
+                + [f"{table[workload][scheme]:.3f}" for scheme in args.schemes]
+            )
+        geomean = grid.geomean_normalized(
+            lambda r: r.read_tail(args.percentile), pec, baseline
+        )
+        rows.append(
+            ["geomean"] + [f"{geomean[scheme]:.3f}" for scheme in args.schemes]
+        )
+        print(
+            format_table(
+                ["workload"] + list(args.schemes),
+                rows,
+                title=(
+                    f"p{args.percentile:g} read latency at {pec} PEC "
+                    "(normalized to first scheme column's baseline)"
+                ),
+            )
+        )
+        print()
+    print(
+        f"  cells executed: {result.stats.executed}, "
+        f"served from cache: {result.stats.cached}"
+    )
+    return 0
+
+
+# --- compare -----------------------------------------------------------------
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.lifetime.comparison import compare_schemes
+    from repro.nand.chip_types import profile_by_name
+
+    if not args.schemes:
+        raise ConfigError("compare needs at least one scheme")
+    for scheme in args.schemes:
+        SCHEMES.get(scheme)
+    profile = profile_by_name(args.profile)
+    executor = (
+        ProcessExecutor(args.workers) if args.workers > 1 else None
+    )
+    comparison = compare_schemes(
+        profile,
+        scheme_keys=tuple(args.schemes),
+        block_count=args.blocks,
+        step=args.step,
+        seed=args.seed,
+        max_pec=args.max_pec,
+        requirement=args.requirement,
+        mispredict_rate=args.mispredict_rate,
+        executor=executor,
+    )
+    baseline_key = args.schemes[0]
+    base = comparison.curves[baseline_key].lifetime_pec
+    rows = []
+    for key in args.schemes:
+        curve = comparison.curves[key]
+        lifetime = curve.lifetime_pec
+        if key == baseline_key or not base:
+            delta = "--"
+        elif lifetime is None:
+            delta = "never crossed"
+        else:
+            delta = f"{lifetime / base - 1:+.1%}"
+        if lifetime is None:
+            lifetime = f">{args.max_pec}"
+        rows.append([key, lifetime, delta])
+    print(
+        format_table(
+            ["scheme", "lifetime (PEC)", f"vs {baseline_key}"],
+            rows,
+            title=f"Lifetime comparison on {profile.name}",
+        )
+    )
+    return 0
+
+
+# --- cache -------------------------------------------------------------------
+
+
+def _open_cache(cache_dir: str) -> ResultCache:
+    """Open an existing cache for inspection without creating it."""
+    if not Path(cache_dir).is_dir():
+        raise ConfigError(f"no such cache directory: {cache_dir}")
+    return ResultCache(cache_dir)
+
+
+def _cmd_cache_ls(args: argparse.Namespace) -> int:
+    cache = _open_cache(args.cache_dir)
+    entries = cache.entries()
+    now = time.time()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "key": entry.key,
+                        "age_seconds": entry.age_seconds(now),
+                        "size_bytes": entry.size,
+                        "meta": entry.meta,
+                        "corrupt": entry.corrupt,
+                        "stale": entry.stale,
+                    }
+                    for entry in entries
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not entries:
+        print(f"cache {args.cache_dir}: empty")
+        return 0
+    rows = [
+        [
+            entry.key[:12],
+            _format_age(entry.age_seconds(now)),
+            f"{entry.size:,} B",
+            entry.summary(),
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["key", "age", "size", "experiment"],
+            rows,
+            title=f"Result cache {args.cache_dir}",
+        )
+    )
+    corrupt = sum(1 for entry in entries if entry.corrupt or entry.stale)
+    total = sum(entry.size for entry in entries)
+    print(f"  {len(entries)} entries, {total:,} bytes", end="")
+    if corrupt:
+        print(f" ({corrupt} corrupt/stale — `cache gc` prunes them)")
+    else:
+        print()
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    cache = _open_cache(args.cache_dir)
+    result = cache.gc(
+        max_entries=args.max_entries,
+        older_than_s=args.older_than,
+        remove_corrupt=not args.keep_corrupt,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"cache {args.cache_dir}: {verb} {result.removed_count} entries "
+        f"({result.removed_bytes:,} bytes), kept {result.kept}"
+    )
+    if result.tmp_removed:
+        tmp_verb = "would sweep" if args.dry_run else "swept"
+        print(f"  {tmp_verb} {result.tmp_removed} orphaned tmp files")
+    for entry in result.removed:
+        reason = (
+            "corrupt" if entry.corrupt
+            else "stale" if entry.stale
+            else "pruned"
+        )
+        print(f"  - {entry.key[:12]}  [{reason}] {entry.summary()}")
+    return 0
+
+
+# --- parser ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run one experiment from flags or a JSON spec file"
+    )
+    run.add_argument("--scheme", default="aero",
+                     help="erase scheme key (see the scheme registry)")
+    run.add_argument("--pec", type=int, default=2500,
+                     help="P/E-cycle wear setpoint (default: 2500)")
+    run.add_argument("--workload", default="ali.A",
+                     help="workload abbreviation (Table 3)")
+    run.add_argument("--requests", type=int, default=1200,
+                     help="trace requests to replay (default: 1200)")
+    run.add_argument("--seed", type=int, default=0xAE20,
+                     help="campaign seed (default: 0xAE20)")
+    run.add_argument("--no-suspension", action="store_true",
+                     help="disable erase suspension in the scheduler")
+    run.add_argument("--mispredict-rate", type=float, default=0.0,
+                     help="forced AERO misprediction rate (Figure 16)")
+    run.add_argument("--rber-requirement", type=int, default=None,
+                     help="ECC requirement in bits/KiB (Figure 17)")
+    run.add_argument("--param", action="append", type=_parse_param,
+                     metavar="KEY=VALUE",
+                     help="extra scheme param (repeatable; JSON values)")
+    run.add_argument("--ssd", choices=["default", "small", "bench", "paper"],
+                     default="default",
+                     help="SSD preset (default: deterministic small SSD)")
+    run.add_argument("--spec-file", default=None,
+                     help="JSON file with one spec or a list of specs")
+    run.add_argument("--json", action="store_true",
+                     help="emit spec + report as JSON")
+    _add_execution_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    grid = sub.add_parser(
+        "grid", help="run a (schemes x PECs x workloads) campaign"
+    )
+    grid.add_argument("--schemes", type=_csv,
+                      default=["baseline", "iispe", "dpes", "aero_cons", "aero"],
+                      help="comma-separated scheme keys (first = baseline)")
+    grid.add_argument("--pecs", type=_csv_ints, default=[500, 2500, 4500],
+                      help="comma-separated PEC setpoints")
+    grid.add_argument("--workloads", type=_csv, default=["ali.A", "hm", "usr"],
+                      help="comma-separated workload abbreviations")
+    grid.add_argument("--requests", type=int, default=1200)
+    grid.add_argument("--seed", type=int, default=0xAE20)
+    grid.add_argument("--no-suspension", action="store_true")
+    grid.add_argument("--percentile", type=float, default=99.0,
+                      help="read-tail percentile to tabulate (default: 99)")
+    _add_execution_args(grid)
+    grid.set_defaults(func=_cmd_grid)
+
+    compare = sub.add_parser(
+        "compare", help="lifetime comparison across schemes (Figure 13)"
+    )
+    compare.add_argument("--profile", default="3D-TLC-48L",
+                         help="chip profile name (default: 3D-TLC-48L)")
+    compare.add_argument("--schemes", type=_csv,
+                         default=["baseline", "iispe", "dpes",
+                                  "aero_cons", "aero"],
+                         help="comma-separated scheme keys (first = baseline)")
+    compare.add_argument("--blocks", type=int, default=48,
+                         help="blocks per scheme set (default: 48)")
+    compare.add_argument("--step", type=int, default=50,
+                         help="P/E cycles per simulated erase (default: 50)")
+    compare.add_argument("--seed", type=int, default=0xAE20)
+    compare.add_argument("--max-pec", type=int, default=12000)
+    compare.add_argument("--requirement", type=int, default=None,
+                         help="ECC requirement in bits/KiB (Figure 17)")
+    compare.add_argument("--mispredict-rate", type=float, default=0.0,
+                         help="forced AERO misprediction rate (Figure 16)")
+    compare.add_argument("--workers", type=int, default=1,
+                         help="worker processes, one scheme each")
+    compare.set_defaults(func=_cmd_compare)
+
+    cache = sub.add_parser("cache", help="inspect or prune the result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_ls = cache_sub.add_parser("ls", help="list cache entries")
+    cache_ls.add_argument("--cache-dir", required=True)
+    cache_ls.add_argument("--json", action="store_true")
+    cache_ls.set_defaults(func=_cmd_cache_ls)
+
+    cache_gc = cache_sub.add_parser("gc", help="prune cache entries")
+    cache_gc.add_argument("--cache-dir", required=True)
+    cache_gc.add_argument("--max-entries", type=int, default=None,
+                          help="keep only the newest N healthy entries")
+    cache_gc.add_argument("--older-than", type=_parse_age, default=None,
+                          metavar="AGE",
+                          help="drop entries older than AGE (e.g. 12h, 7d)")
+    cache_gc.add_argument("--keep-corrupt", action="store_true",
+                          help="do not prune corrupt/stale entries")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, delete nothing")
+    cache_gc.set_defaults(func=_cmd_cache_gc)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

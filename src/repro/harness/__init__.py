@@ -34,7 +34,13 @@ its inputs. ``from repro.harness import run_grid, run_workload_cell``
 keeps working exactly as it did when the harness was one module.
 """
 
-from repro.harness.cache import CACHE_VERSION, ResultCache, cell_fingerprint
+from repro.harness.cache import (
+    CACHE_VERSION,
+    CacheEntry,
+    GcResult,
+    ResultCache,
+    cell_fingerprint,
+)
 from repro.harness.cells import (
     PAPER_PEC_POINTS,
     PAPER_SCHEMES,
@@ -47,12 +53,15 @@ from repro.harness.runner import (
     GridRunner,
     RunStats,
     execute_cell,
+    grid_from_jobs,
     run_grid,
 )
 
 __all__ = [
     "CACHE_VERSION",
+    "CacheEntry",
     "CellJob",
+    "GcResult",
     "CellKey",
     "EvaluationGrid",
     "GridCell",
@@ -65,6 +74,7 @@ __all__ = [
     "SerialExecutor",
     "cell_fingerprint",
     "execute_cell",
+    "grid_from_jobs",
     "run_grid",
     "run_workload_cell",
 ]

@@ -29,10 +29,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import SsdSpec
+from repro.errors import ConfigError
 from repro.ssd.metrics import PerfReport
 
 #: Bump when the cell-execution semantics or file format change; old
@@ -51,24 +54,92 @@ def cell_fingerprint(
     footprint_fraction: float = 0.85,
     precondition_fraction: float = 0.9,
     mispredict_rate: float = 0.0,
+    scheme_params: Tuple[Tuple[str, Any], ...] = (),
 ) -> str:
-    """Stable hash of every input that determines a cell's report."""
-    payload = "\n".join(
-        [
-            f"version={CACHE_VERSION}",
-            f"spec={spec!r}",
-            f"scheme={scheme}",
-            f"pec={pec}",
-            f"workload={workload}",
-            f"requests={requests}",
-            f"seed={seed}",
-            f"erase_suspension={erase_suspension}",
-            f"footprint_fraction={footprint_fraction!r}",
-            f"precondition_fraction={precondition_fraction!r}",
-            f"mispredict_rate={mispredict_rate!r}",
-        ]
-    )
+    """Stable hash of every input that determines a cell's report.
+
+    ``scheme_params`` carries any extra scheme knobs beyond
+    ``mispredict_rate`` (e.g. ``rber_requirement``) as sorted
+    ``(key, value)`` pairs; it is folded into the payload only when
+    non-empty, so fingerprints of parameterless cells are unchanged
+    across library versions and existing caches stay valid.
+    """
+    lines = [
+        f"version={CACHE_VERSION}",
+        f"spec={spec!r}",
+        f"scheme={scheme}",
+        f"pec={pec}",
+        f"workload={workload}",
+        f"requests={requests}",
+        f"seed={seed}",
+        f"erase_suspension={erase_suspension}",
+        f"footprint_fraction={footprint_fraction!r}",
+        f"precondition_fraction={precondition_fraction!r}",
+        f"mispredict_rate={mispredict_rate!r}",
+    ]
+    if scheme_params:
+        lines.append(f"scheme_params={tuple(sorted(scheme_params))!r}")
+    payload = "\n".join(lines)
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk cache entry (for ``cache ls`` / ``gc``).
+
+    ``corrupt`` marks files that exist but cannot be parsed (truncated
+    writes, foreign files); ``stale`` marks readable entries written
+    under a different :data:`CACHE_VERSION`. Both read as misses at
+    run time and are prime garbage-collection candidates.
+    """
+
+    key: str
+    path: Path
+    mtime: float
+    size: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+    corrupt: bool = False
+    stale: bool = False
+
+    def age_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds since the entry was written."""
+        return max(0.0, (time.time() if now is None else now) - self.mtime)
+
+    def summary(self) -> str:
+        """One-line human summary of what experiment the entry holds."""
+        if self.corrupt:
+            return "<corrupt entry>"
+        meta = self.meta
+        parts = [
+            str(meta.get("scheme", "?")),
+            f"pec={meta.get('pec', '?')}",
+            str(meta.get("workload", "?")),
+            f"requests={meta.get('requests', '?')}",
+            f"seed={meta.get('seed', '?')}",
+        ]
+        if meta.get("scheme_params"):
+            parts.append(f"params={meta['scheme_params']}")
+        if self.stale:
+            parts.append("[stale version]")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class GcResult:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    removed: Tuple[CacheEntry, ...] = ()
+    kept: int = 0
+    #: Orphaned ``<key>.tmp.<pid>`` files swept up (interrupted puts).
+    tmp_removed: int = 0
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed)
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(entry.size for entry in self.removed)
 
 
 class ResultCache:
@@ -117,3 +188,108 @@ class ResultCache:
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(data, handle)
         os.replace(tmp, path)
+
+    # --- inspection and garbage collection ---------------------------------
+
+    def entries(self) -> List[CacheEntry]:
+        """Every on-disk entry, oldest first, corrupt ones flagged.
+
+        Never raises on unreadable files — they come back with
+        ``corrupt=True`` so ``cache ls`` can report them and ``gc``
+        can prune them.
+        """
+        found: List[CacheEntry] = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted between glob and stat
+            key, meta, corrupt, stale = path.stem, {}, False, False
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                meta = dict(data.get("meta") or {})
+                if data.get("version") != CACHE_VERSION:
+                    stale = True
+                if "report" not in data:
+                    corrupt = True
+            except (OSError, ValueError, TypeError, AttributeError):
+                corrupt = True
+            found.append(
+                CacheEntry(
+                    key=key,
+                    path=path,
+                    mtime=stat.st_mtime,
+                    size=stat.st_size,
+                    meta=meta,
+                    corrupt=corrupt,
+                    stale=stale,
+                )
+            )
+        found.sort(key=lambda entry: (entry.mtime, entry.key))
+        return found
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        older_than_s: Optional[float] = None,
+        remove_corrupt: bool = True,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> GcResult:
+        """Prune the cache; returns what was (or would be) removed.
+
+        * ``older_than_s`` — drop entries older than this many seconds;
+        * ``max_entries`` — after the age pass, keep only the newest N
+          healthy entries;
+        * ``remove_corrupt`` — also drop corrupt/stale entries (they
+          read as misses anyway).
+
+        Deletes are atomic per entry (``unlink``); a file vanishing
+        concurrently is not an error. ``dry_run=True`` reports without
+        deleting.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ConfigError("max_entries must be >= 0")
+        if older_than_s is not None and older_than_s < 0:
+            raise ConfigError("older_than_s must be >= 0")
+        now = time.time() if now is None else now
+        doomed: List[CacheEntry] = []
+        survivors: List[CacheEntry] = []
+        for entry in self.entries():
+            if remove_corrupt and (entry.corrupt or entry.stale):
+                doomed.append(entry)
+            elif (
+                older_than_s is not None
+                and entry.age_seconds(now) > older_than_s
+            ):
+                doomed.append(entry)
+            else:
+                survivors.append(entry)
+        if max_entries is not None and len(survivors) > max_entries:
+            # entries() is oldest-first, so the head is the eviction set.
+            extra = len(survivors) - max_entries
+            doomed.extend(survivors[:extra])
+            survivors = survivors[extra:]
+        if not dry_run:
+            for entry in doomed:
+                try:
+                    entry.path.unlink()
+                except FileNotFoundError:
+                    pass
+        # Sweep tmp files orphaned by interrupted put() calls. A live
+        # writer's tmp exists only for the instant between write and
+        # os.replace, so anything older than a minute is litter.
+        tmp_removed = 0
+        for path in self.root.glob("*.tmp.*"):
+            try:
+                if now - path.stat().st_mtime > 60.0:
+                    if not dry_run:
+                        path.unlink()
+                    tmp_removed += 1
+            except OSError:
+                pass
+        return GcResult(
+            removed=tuple(doomed), kept=len(survivors),
+            tmp_removed=tmp_removed,
+        )

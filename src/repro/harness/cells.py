@@ -6,17 +6,23 @@ synthetic Table 3 workload, and return the performance report. It is a
 pure function of its arguments — the same arguments always produce the
 same :class:`~repro.ssd.metrics.PerfReport` — which is what makes grid
 cells safe to cache on disk and to fan out across worker processes.
+
+Scheme keys and workload abbreviations resolve through the plugin
+registries (:data:`repro.experiments.SCHEMES` /
+:data:`repro.experiments.WORKLOADS`), so registered third-party
+schemes and workloads run through the same cell path as the built-ins.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.config import SsdSpec
+from repro.experiments.registry import WORKLOADS
 from repro.rng import derive
 from repro.ssd.builder import build_ssd
 from repro.ssd.metrics import PerfReport
-from repro.workloads.profiles import WorkloadProfile, profile_by_abbr
+from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.synthetic import SyntheticTraceGenerator
 
 #: The paper's evaluation PEC setpoints (Figure 14).
@@ -37,16 +43,23 @@ def run_workload_cell(
     erase_suspension: bool = True,
     seed: int = 0xAE20,
     mispredict_rate: float = 0.0,
+    scheme_params: Optional[Mapping[str, Any]] = None,
 ) -> PerfReport:
-    """Run one evaluation cell and return its performance report."""
+    """Run one evaluation cell and return its performance report.
+
+    ``scheme_params`` carries any extra scheme knobs (e.g.
+    ``rber_requirement``) to the scheme factory; the historical
+    ``mispredict_rate`` argument is folded into it (an explicit
+    ``scheme_params['mispredict_rate']`` wins).
+    """
     if isinstance(workload, str):
-        workload = profile_by_abbr(workload)
+        workload = WORKLOADS.resolve(workload)
     if spec is None:
         spec = SsdSpec.small_test(seed=seed)
     spec = spec.with_scheduler(erase_suspension=erase_suspension)
-    ssd = build_ssd(
-        spec, scheme, pec_setpoint=pec, mispredict_rate=mispredict_rate
-    )
+    params = dict(scheme_params or {})
+    params.setdefault("mispredict_rate", mispredict_rate)
+    ssd = build_ssd(spec, scheme, pec_setpoint=pec, **params)
     ssd.precondition(
         footprint_pages=int(spec.logical_pages * precondition_fraction)
     )

@@ -23,12 +23,13 @@ cells, so an interrupted campaign continues where it stopped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SsdSpec
 from repro.errors import ConfigError
+from repro.experiments.registry import WORKLOADS
 from repro.harness.cache import ResultCache, cell_fingerprint
 from repro.harness.cells import (
     PAPER_PEC_POINTS,
@@ -39,7 +40,7 @@ from repro.harness.executors import ProcessExecutor, SerialExecutor
 from repro.harness.grid import EvaluationGrid, GridCell
 from repro.rng import derive
 from repro.ssd.metrics import PerfReport
-from repro.workloads.profiles import WorkloadProfile, profile_by_abbr
+from repro.workloads.profiles import WorkloadProfile
 
 Executor = Union[SerialExecutor, ProcessExecutor]
 
@@ -63,9 +64,21 @@ class CellJob:
     erase_suspension: bool
     seed: int
     profile: Optional[WorkloadProfile] = None
+    #: Extra scheme knobs as sorted (key, value) pairs — a tuple so the
+    #: job stays frozen/picklable with a canonical repr;
+    #: ``mispredict_rate`` and ``rber_requirement`` travel here when
+    #: non-default.
+    scheme_params: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def fingerprint(self) -> str:
+        # mispredict_rate keeps its dedicated fingerprint slot (and the
+        # remaining params are folded in only when present) so caches
+        # written before scheme_params existed remain valid. float()
+        # keeps an integer-spelled rate (0 vs 0.0) from splitting the
+        # fingerprint via its repr.
+        params = dict(self.scheme_params)
+        mispredict_rate = float(params.pop("mispredict_rate", 0.0))
         return cell_fingerprint(
             spec=self.spec,
             scheme=self.scheme,
@@ -76,7 +89,31 @@ class CellJob:
             requests=self.requests,
             seed=self.seed,
             erase_suspension=self.erase_suspension,
+            mispredict_rate=mispredict_rate,
+            scheme_params=tuple(sorted(params.items())),
         )
+
+
+def grid_from_jobs(
+    jobs: Sequence[CellJob], reports: Sequence[PerfReport]
+) -> EvaluationGrid:
+    """Assemble an :class:`EvaluationGrid` from jobs and their reports.
+
+    Shared by :meth:`GridRunner.run` and
+    :func:`repro.experiments.run_experiments`, so the two entry points
+    cannot drift in how cells are keyed.
+    """
+    grid = EvaluationGrid()
+    for job, report in zip(jobs, reports):
+        grid.add(
+            GridCell(
+                scheme=job.scheme,
+                pec=job.pec,
+                workload=job.workload,
+                report=report,
+            )
+        )
+    return grid
 
 
 def execute_cell(job: CellJob) -> PerfReport:
@@ -89,6 +126,7 @@ def execute_cell(job: CellJob) -> PerfReport:
         requests=job.requests,
         erase_suspension=job.erase_suspension,
         seed=job.seed,
+        scheme_params=dict(job.scheme_params),
     )
 
 
@@ -140,7 +178,7 @@ class GridRunner:
                     try:
                         profile = (
                             None
-                            if workload == profile_by_abbr(abbr)
+                            if workload == WORKLOADS.resolve(abbr)
                             else workload
                         )
                     except ConfigError:
@@ -172,21 +210,16 @@ class GridRunner:
 
     # --- execution ----------------------------------------------------------
 
-    def run(
-        self,
-        schemes: Sequence[str] = PAPER_SCHEMES,
-        pec_points: Sequence[int] = PAPER_PEC_POINTS,
-        workloads: Sequence[Union[str, WorkloadProfile]] = ("ali.A", "hm", "usr"),
-        requests: int = 1200,
-        spec: Optional[SsdSpec] = None,
-        erase_suspension: bool = True,
-        seed: int = 0xAE20,
-    ) -> EvaluationGrid:
-        """Run a campaign; cached cells load from disk, the rest execute."""
-        jobs = self.plan(
-            schemes, pec_points, workloads, requests, spec,
-            erase_suspension, seed,
-        )
+    def execute_jobs(self, jobs: Sequence[CellJob]) -> List[PerfReport]:
+        """Execute cell jobs, reports in job order; cache-aware.
+
+        The reusable core of :meth:`run` — the declarative experiment
+        layer (:func:`repro.experiments.run_experiments`) feeds
+        :class:`CellJob` lists resolved from ``ExperimentSpec`` objects
+        through the same cache-then-executor path, so CLI runs, spec
+        files, and grid campaigns share cache entries. Updates
+        :attr:`stats`.
+        """
         reports: List[Optional[PerfReport]] = [None] * len(jobs)
         pending: List[int] = []
         if self.cache is not None:
@@ -207,32 +240,38 @@ class GridRunner:
             reports[index] = report
             if self.cache is not None:
                 job = jobs[index]
-                self.cache.put(
-                    job.fingerprint,
-                    report,
-                    meta={
-                        "scheme": job.scheme,
-                        "pec": job.pec,
-                        "workload": job.workload,
-                        "requests": job.requests,
-                        "seed": job.seed,
-                    },
-                )
+                meta = {
+                    "scheme": job.scheme,
+                    "pec": job.pec,
+                    "workload": job.workload,
+                    "requests": job.requests,
+                    "seed": job.seed,
+                }
+                if job.scheme_params:
+                    meta["scheme_params"] = dict(job.scheme_params)
+                self.cache.put(job.fingerprint, report, meta=meta)
 
         self.stats = RunStats(
             executed=len(pending), cached=len(jobs) - len(pending)
         )
-        grid = EvaluationGrid()
-        for job, report in zip(jobs, reports):
-            grid.add(
-                GridCell(
-                    scheme=job.scheme,
-                    pec=job.pec,
-                    workload=job.workload,
-                    report=report,
-                )
-            )
-        return grid
+        return reports
+
+    def run(
+        self,
+        schemes: Sequence[str] = PAPER_SCHEMES,
+        pec_points: Sequence[int] = PAPER_PEC_POINTS,
+        workloads: Sequence[Union[str, WorkloadProfile]] = ("ali.A", "hm", "usr"),
+        requests: int = 1200,
+        spec: Optional[SsdSpec] = None,
+        erase_suspension: bool = True,
+        seed: int = 0xAE20,
+    ) -> EvaluationGrid:
+        """Run a campaign; cached cells load from disk, the rest execute."""
+        jobs = self.plan(
+            schemes, pec_points, workloads, requests, spec,
+            erase_suspension, seed,
+        )
+        return grid_from_jobs(jobs, self.execute_jobs(jobs))
 
 
 def run_grid(

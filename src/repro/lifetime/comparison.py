@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.experiments.registry import SCHEMES
 from repro.lifetime.simulator import LifetimeCurve, LifetimeSimulator
 from repro.nand.chip_types import ChipProfile
 from repro.schemes import SCHEME_KEYS
@@ -88,7 +89,13 @@ def compare_schemes(
     ``executor=ProcessExecutor(n)`` to run schemes concurrently; results
     are identical to the serial run (each curve is a pure function of
     its job).
+
+    Scheme keys resolve through :data:`repro.experiments.SCHEMES`, so
+    registered plugin schemes compare alongside the built-ins; unknown
+    keys fail fast with the registry's rich error before any cycling.
     """
+    for key in scheme_keys:
+        SCHEMES.get(key)
     comparison = SchemeComparison(profile_name=profile.name)
     jobs = [
         _CurveJob(

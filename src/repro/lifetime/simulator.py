@@ -26,8 +26,8 @@ from repro.nand.block import Block
 from repro.nand.chip_types import ChipProfile
 from repro.nand.geometry import BlockAddress
 from repro.nand.rber import RberModel
+from repro.experiments.registry import SCHEMES
 from repro.rng import derive_rng
-from repro.schemes import make_scheme
 
 
 @dataclass
@@ -82,9 +82,9 @@ class LifetimeSimulator:
             else profile.ecc.requirement_bits_per_kib
         )
         self.rber = RberModel(profile)
-        self.scheme = make_scheme(
-            profile,
+        self.scheme = SCHEMES.create(
             scheme_key,
+            profile,
             mispredict_rate=mispredict_rate,
             rber_requirement=requirement,
         )

@@ -1,13 +1,24 @@
-"""Factory for the five evaluated erase schemes (paper Section 7.1).
+"""Built-in erase schemes, registered with the scheme registry.
 
-Central place mapping scheme keys — ``baseline``, ``iispe``, ``dpes``,
-``aero_cons``, ``aero`` — to configured scheme objects, shared by the
-lifetime simulator, the SSD builder, benchmarks, and examples.
+The six evaluated schemes — ``baseline``, ``iispe``, ``dpes``,
+``mispe``, ``aero_cons``, ``aero`` — register themselves with
+:data:`repro.experiments.SCHEMES` when this module is imported; the
+registry lazily imports this module, so looking a key up anywhere
+(``make_scheme``, ``build_ssd``, :class:`~repro.experiments.ExperimentSpec`,
+the ``python -m repro`` CLI) always sees all six. Third-party schemes
+plug in the same way without editing this file::
+
+    @SCHEMES.register("my_scheme")
+    def _build(profile, *, mispredict_rate=0.0, rber_requirement=None):
+        return MyScheme(profile)
+
+``make_scheme`` remains as a thin shim over ``SCHEMES.create`` for
+existing callers.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.aero import AeroEraseScheme
 from repro.core.ept import (
@@ -20,12 +31,117 @@ from repro.erase.iispe import IntelligentIspeScheme
 from repro.erase.ispe import BaselineIspeScheme
 from repro.erase.mispe import MIspeScheme
 from repro.erase.scheme import EraseScheme
-from repro.errors import ConfigError
+from repro.experiments.registry import SCHEMES
 from repro.nand.chip_types import ChipProfile
 from repro.nand.rber import RberModel
 
-#: Keys accepted by :func:`make_scheme`, in the paper's comparison order.
+#: The paper's five comparison schemes, in presentation order
+#: (Figure 13 / Table 4). ``mispe`` is evaluated separately (Section 5
+#: characterization), so it is registered but not part of this tuple.
 SCHEME_KEYS = ("baseline", "iispe", "dpes", "aero_cons", "aero")
+
+
+@SCHEMES.register("baseline")
+def _build_baseline(
+    profile: ChipProfile,
+    *,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """Baseline ISPE: fixed loop ladder, no adaptation."""
+    return BaselineIspeScheme(profile)
+
+
+@SCHEMES.register("iispe")
+def _build_iispe(
+    profile: ChipProfile,
+    *,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """i-ISPE: per-block memorized loop counts (Section 3.3 baseline)."""
+    return IntelligentIspeScheme(profile)
+
+
+@SCHEMES.register("dpes")
+def _build_dpes(
+    profile: ChipProfile,
+    *,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """DPES: dynamic erase-voltage scaling (Section 7 baseline)."""
+    return DpesScheme(profile)
+
+
+@SCHEMES.register("mispe")
+def _build_mispe(
+    profile: ChipProfile,
+    *,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """m-ISPE: fine-grained sub-pulse stepping (characterization tool)."""
+    return MIspeScheme(profile)
+
+
+def _build_aero(
+    profile: ChipProfile,
+    aggressive: bool,
+    mispredict_rate: float,
+    rber_requirement: Optional[int],
+) -> EraseScheme:
+    conservative = published_conservative_table(profile)
+    aggressive_table = None
+    if aggressive:
+        aggressive_table = build_aggressive_table(
+            profile,
+            conservative,
+            rber_model=RberModel(profile),
+            requirement_bits_per_kib=rber_requirement,
+        )
+    predictor = FelpPredictor(
+        profile, conservative=conservative, aggressive=aggressive_table
+    )
+    return AeroEraseScheme(
+        profile,
+        predictor=predictor,
+        aggressive=aggressive,
+        mispredict_rate=mispredict_rate,
+    )
+
+
+@SCHEMES.register("aero_cons")
+def _build_aero_cons(
+    profile: ChipProfile,
+    *,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """AEROcons: conservative EPT only (no aggressive reduction)."""
+    return _build_aero(profile, False, mispredict_rate, rber_requirement)
+
+
+@SCHEMES.register("aero")
+def _build_aero_full(
+    profile: ChipProfile,
+    *,
+    mispredict_rate: float = 0.0,
+    rber_requirement: Optional[int] = None,
+) -> EraseScheme:
+    """Full AERO: aggressive ECC-margin-aware under-erasure."""
+    return _build_aero(profile, True, mispredict_rate, rber_requirement)
+
+
+#: Every registered scheme key at import time (the six built-ins, in
+#: registration order). Plugins registered later are visible through
+#: ``SCHEMES.keys()`` / :func:`all_scheme_keys`, which stay live.
+ALL_SCHEME_KEYS: Tuple[str, ...] = SCHEMES.keys()
+
+
+def all_scheme_keys() -> Tuple[str, ...]:
+    """Currently registered scheme keys (built-ins plus plugins)."""
+    return SCHEMES.keys()
 
 
 def make_scheme(
@@ -34,41 +150,17 @@ def make_scheme(
     mispredict_rate: float = 0.0,
     rber_requirement: Optional[int] = None,
 ) -> EraseScheme:
-    """Instantiate one of the evaluated erase schemes.
+    """Instantiate one of the registered erase schemes (registry shim).
 
     ``mispredict_rate`` injects forced under-predictions into AERO
     (Figure 16 sensitivity); ``rber_requirement`` rebuilds AERO's
     aggressive table for a weaker ECC (Figure 17 sensitivity). Both are
-    ignored by the non-AERO schemes.
+    ignored by the non-AERO schemes. Unknown keys raise
+    :class:`~repro.errors.ConfigError` listing every registered key.
     """
-    if key == "baseline":
-        return BaselineIspeScheme(profile)
-    if key == "iispe":
-        return IntelligentIspeScheme(profile)
-    if key == "dpes":
-        return DpesScheme(profile)
-    if key == "mispe":
-        return MIspeScheme(profile)
-    if key in ("aero", "aero_cons"):
-        aggressive = key == "aero"
-        conservative = published_conservative_table(profile)
-        aggressive_table = None
-        if aggressive:
-            aggressive_table = build_aggressive_table(
-                profile,
-                conservative,
-                rber_model=RberModel(profile),
-                requirement_bits_per_kib=rber_requirement,
-            )
-        predictor = FelpPredictor(
-            profile, conservative=conservative, aggressive=aggressive_table
-        )
-        return AeroEraseScheme(
-            profile,
-            predictor=predictor,
-            aggressive=aggressive,
-            mispredict_rate=mispredict_rate,
-        )
-    raise ConfigError(
-        f"unknown scheme {key!r}; known: {', '.join(SCHEME_KEYS)} (+ 'mispe')"
+    return SCHEMES.create(
+        key,
+        profile,
+        mispredict_rate=mispredict_rate,
+        rber_requirement=rber_requirement,
     )

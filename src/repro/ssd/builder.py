@@ -13,11 +13,11 @@ from typing import Optional
 from repro.config import SsdSpec
 from repro.core.aero import AeroEraseScheme
 from repro.erase.iispe import IntelligentIspeScheme
+from repro.experiments.registry import SCHEMES
 from repro.ftl.aeroftl import AeroFtl
 from repro.ftl.ftl import PageLevelFtl
 from repro.nand.chip import NandChip
 from repro.rng import derive_rng
-from repro.schemes import make_scheme
 from repro.ssd.ssd import Ssd
 
 
@@ -27,8 +27,15 @@ def build_ssd(
     pec_setpoint: int = 0,
     mispredict_rate: float = 0.0,
     rber_requirement: Optional[int] = None,
+    **scheme_params,
 ) -> Ssd:
-    """Build an SSD whose blocks sit at ``pec_setpoint`` P/E cycles."""
+    """Build an SSD whose blocks sit at ``pec_setpoint`` P/E cycles.
+
+    ``scheme_key`` resolves through the scheme registry
+    (:data:`repro.experiments.SCHEMES`), so registered plugin schemes
+    build the same way as the six built-ins; extra keyword arguments
+    are passed through to the scheme factory.
+    """
     geometry = spec.geometry
     chips = [
         NandChip(
@@ -43,11 +50,12 @@ def build_ssd(
         for channel in range(geometry.channels)
         for chip in range(geometry.chips_per_channel)
     ]
-    scheme = make_scheme(
-        spec.profile,
+    scheme = SCHEMES.create(
         scheme_key,
+        spec.profile,
         mispredict_rate=mispredict_rate,
         rber_requirement=rber_requirement,
+        **scheme_params,
     )
     _age_blocks(chips, pec_setpoint, spec.seed)
     if isinstance(scheme, IntelligentIspeScheme):

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.errors import ConfigError
+from repro.experiments.registry import WORKLOADS
 
 
 @dataclass(frozen=True)
@@ -72,11 +73,22 @@ PROFILES_BY_ABBR: Dict[str, WorkloadProfile] = {
     profile.abbr: profile for profile in ALL_PROFILES
 }
 
+# The Table 3 profiles are the built-in entries of the process-wide
+# workload registry; every abbreviation anywhere in the library (the
+# harness, ExperimentSpec, the CLI) resolves through it, and plugins
+# add workloads with WORKLOADS.register(...) / WORKLOADS.add(...)
+# without touching this file.
+for _profile in ALL_PROFILES:
+    if _profile.abbr not in WORKLOADS:
+        WORKLOADS.add(_profile)
+del _profile
+
 
 def profile_by_abbr(abbr: str) -> WorkloadProfile:
-    """Look up a Table 3 workload by its figure abbreviation."""
-    try:
-        return PROFILES_BY_ABBR[abbr]
-    except KeyError:
-        known = ", ".join(sorted(PROFILES_BY_ABBR))
-        raise ConfigError(f"unknown workload {abbr!r}; known: {known}")
+    """Look up a workload by its figure abbreviation (registry shim).
+
+    Resolves through :data:`repro.experiments.WORKLOADS`, so plugin
+    workloads registered at runtime are found too. Unknown keys raise
+    :class:`ConfigError` listing every registered abbreviation.
+    """
+    return WORKLOADS.resolve(abbr)

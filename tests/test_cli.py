@@ -1,0 +1,234 @@
+"""``python -m repro`` CLI and the cache ls/gc tooling."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments import ExperimentSpec
+from repro.experiments.cli import _format_age, _parse_age, main
+from repro.harness.cache import ResultCache
+
+RUN_ARGS = [
+    "run", "--scheme", "aero", "--pec", "2500", "--workload", "ali.A",
+    "--requests", "120", "--seed", "5",
+]
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    """One executed CLI run with its cache directory."""
+    cache_dir = str(tmp_path_factory.mktemp("cli-cache"))
+    assert main(RUN_ARGS + ["--cache-dir", cache_dir]) == 0
+    return cache_dir
+
+
+def test_run_executes_then_caches(warm_cache, capsys):
+    capsys.readouterr()
+    assert main(RUN_ARGS + ["--cache-dir", warm_cache]) == 0
+    out = capsys.readouterr().out
+    assert "aero" in out and "p99 read" in out
+    assert "served from cache: 1" in out
+    assert "cells executed: 0" in out
+
+
+def test_cache_ls_sees_the_entry(warm_cache, capsys):
+    assert main(["cache", "ls", "--cache-dir", warm_cache]) == 0
+    out = capsys.readouterr().out
+    assert "aero pec=2500 ali.A requests=120" in out
+    assert "1 entries" in out
+
+
+def test_cache_ls_json(warm_cache, capsys):
+    assert main(["cache", "ls", "--cache-dir", warm_cache, "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) == 1
+    assert entries[0]["meta"]["scheme"] == "aero"
+    assert not entries[0]["corrupt"]
+
+
+def test_run_json_output(warm_cache, capsys):
+    assert main(RUN_ARGS + ["--cache-dir", warm_cache, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spec"]["scheme"] == "aero"
+    assert payload["report"]["requests_completed"] == 120
+    spec = ExperimentSpec.from_dict(payload["spec"])
+    assert spec.fingerprint == payload["fingerprint"]
+
+
+def test_run_from_spec_file(tmp_path, capsys):
+    spec = ExperimentSpec(scheme="baseline", pec=500, workload="hm",
+                          requests=100, seed=3)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert main(["run", "--spec-file", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "hm" in out
+
+
+def test_run_spec_file_rejects_conflicting_flags(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(ExperimentSpec(requests=100).to_json())
+    assert main(["run", "--spec-file", str(path), "--requests", "50"]) == 2
+    err = capsys.readouterr().err
+    assert "--spec-file" in err and "--requests" in err
+
+
+def test_run_flag_defaults_match_parser():
+    from repro.experiments.cli import _RUN_FLAG_DEFAULTS, build_parser
+
+    args = build_parser().parse_args(["run"])
+    for name, default in _RUN_FLAG_DEFAULTS.items():
+        assert getattr(args, name) == default, name
+
+
+def test_cache_commands_do_not_create_directories(tmp_path, capsys):
+    missing = tmp_path / "typo"
+    assert main(["cache", "ls", "--cache-dir", str(missing)]) == 2
+    assert "no such cache directory" in capsys.readouterr().err
+    assert main(["cache", "gc", "--cache-dir", str(missing)]) == 2
+    assert not missing.exists()
+
+
+def test_unknown_scheme_exits_2(capsys):
+    assert main(["run", "--scheme", "bogus", "--requests", "10"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scheme 'bogus'" in err and "aero" in err
+
+
+def test_unknown_workload_exits_2(capsys):
+    assert main(["run", "--workload", "bogus", "--requests", "10"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_grid_smoke(tmp_path, capsys):
+    args = [
+        "grid", "--schemes", "baseline,aero", "--pecs", "500",
+        "--workloads", "hm", "--requests", "100", "--seed", "7",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "geomean" in out and "1.000" in out
+    assert main(args) == 0  # warm re-run
+    assert "served from cache: 2" in capsys.readouterr().out
+
+
+def test_grid_without_literal_baseline_scheme(tmp_path, capsys):
+    # The first scheme column is the normalization baseline; "baseline"
+    # itself need not be in the list.
+    assert main([
+        "grid", "--schemes", "aero_cons,aero", "--pecs", "500",
+        "--workloads", "hm", "--requests", "80", "--seed", "7",
+        "--cache-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "aero_cons" in out and "geomean" in out
+
+
+def test_grid_rejects_empty_axis(capsys):
+    assert main(["grid", "--schemes", ","]) == 2
+    assert "at least one scheme" in capsys.readouterr().err
+
+
+def test_compare_smoke(capsys):
+    assert main([
+        "compare", "--schemes", "baseline,aero", "--blocks", "4",
+        "--step", "500", "--max-pec", "12000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Lifetime comparison" in out and "vs baseline" in out
+
+
+def test_cache_gc_prunes_and_reports(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    for seed in (1, 2):
+        assert main([
+            "run", "--scheme", "baseline", "--pec", "500", "--workload", "hm",
+            "--requests", "80", "--seed", str(seed), "--cache-dir", cache_dir,
+        ]) == 0
+    capsys.readouterr()
+
+    # Dry run deletes nothing.
+    assert main(["cache", "gc", "--cache-dir", cache_dir,
+                 "--max-entries", "1", "--dry-run"]) == 0
+    assert "would remove 1" in capsys.readouterr().out
+    assert len(ResultCache(cache_dir).entries()) == 2
+
+    # Real gc keeps the newest entry.
+    assert main(["cache", "gc", "--cache-dir", cache_dir,
+                 "--max-entries", "1"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert len(ResultCache(cache_dir).entries()) == 1
+
+
+def test_cache_gc_older_than_and_corrupt(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    assert main([
+        "run", "--scheme", "baseline", "--pec", "500", "--workload", "hm",
+        "--requests", "80", "--seed", "1", "--cache-dir", cache_dir,
+    ]) == 0
+    corrupt = tmp_path / "deadbeef.json"
+    corrupt.write_text("{truncated")
+    capsys.readouterr()
+
+    assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "<corrupt entry>" in out and "1 corrupt/stale" in out
+
+    # Age out everything: backdate files, prune older than 1h.
+    old = time.time() - 7200
+    for path in tmp_path.glob("*.json"):
+        os.utime(path, (old, old))
+    assert main(["cache", "gc", "--cache-dir", cache_dir,
+                 "--older-than", "1h"]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_cache_gc_sweeps_orphaned_tmp_files(tmp_path, capsys):
+    orphan = tmp_path / "abc123.tmp.9999"
+    orphan.write_text("partial write")
+    old = time.time() - 300
+    os.utime(orphan, (old, old))
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--dry-run"]) == 0
+    assert "would sweep 1 orphaned tmp" in capsys.readouterr().out
+    assert orphan.exists()
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+    assert "swept 1 orphaned tmp" in capsys.readouterr().out
+    assert not orphan.exists()
+
+
+def test_parse_age_units():
+    assert _parse_age("90") == 90.0
+    assert _parse_age("90s") == 90.0
+    assert _parse_age("15m") == 900.0
+    assert _parse_age("2h") == 7200.0
+    assert _parse_age("7d") == 7 * 86400.0
+    with pytest.raises(Exception):
+        _parse_age("soon")
+
+
+def test_format_age_units():
+    assert _format_age(30) == "30s"
+    assert _format_age(90) == "1.5m"
+    assert _format_age(7200) == "2.0h"
+    assert _format_age(2 * 86400) == "2.0d"
+
+
+def test_python_dash_m_entry_point():
+    """The real subprocess entry (`python -m repro`) wires up."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0
+    for command in ("run", "grid", "compare", "cache"):
+        assert command in proc.stdout
