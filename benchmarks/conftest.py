@@ -22,7 +22,12 @@ import os
 import pytest
 
 from repro.experiments import WORKLOADS
-from repro.harness import GridRunner, ProcessExecutor, SerialExecutor
+from repro.harness import (
+    GridRunner,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
 
 
 def full_scale() -> bool:
@@ -58,9 +63,24 @@ def bench_requests():
 
 @pytest.fixture(scope="session")
 def bench_executor():
-    """Cell executor for grid campaigns (serial unless REPRO_BENCH_WORKERS>1)."""
+    """Cell executor for grid campaigns (serial unless REPRO_BENCH_WORKERS>1).
+
+    ``REPRO_BENCH_EXECUTOR=thread`` swaps the fan-out to threads —
+    worthwhile for kernel-engine lifetime campaigns, where the NumPy
+    batch kernels release the GIL and processes pay a pickle tax.
+    """
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    kind = os.environ.get("REPRO_BENCH_EXECUTOR", "process")
+    if kind not in ("process", "thread"):
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown REPRO_BENCH_EXECUTOR {kind!r}; "
+            "choose 'process' or 'thread'"
+        )
     if workers > 1:
+        if kind == "thread":
+            return ThreadExecutor(workers)
         return ProcessExecutor(workers)
     return SerialExecutor()
 

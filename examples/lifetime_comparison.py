@@ -16,37 +16,67 @@ command is::
 
 Run:  python examples/lifetime_comparison.py
       python examples/lifetime_comparison.py --workers 5
+      python examples/lifetime_comparison.py --engine object   # pre-kernel path
 """
 
 import argparse
 
 from repro import SCHEME_KEYS
 from repro.analysis.tables import format_table
-from repro.harness import ProcessExecutor
+from repro.harness import ProcessExecutor, ThreadExecutor
+from repro.kernels import ENGINES, kernel_for_scheme
 from repro.lifetime import compare_schemes
 from repro.nand.chip_types import TLC_3D_48L
+from repro.schemes import make_scheme
+
+
+def _default_executor_kind(scheme_keys, engine):
+    """Threads only when every scheme runs its GIL-releasing kernel."""
+    if engine == "object":
+        return "process"
+    if engine == "kernel":
+        return "thread"
+    for key in scheme_keys:
+        if kernel_for_scheme(make_scheme(TLC_3D_48L, key)) is None:
+            return "process"
+    return "thread"
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes, one scheme each (default: serial)",
+        help="workers, one scheme each (default: serial)",
+    )
+    parser.add_argument(
+        "--executor", choices=["process", "thread"], default=None,
+        help="worker kind when --workers > 1 (default: thread for "
+             "kernel-engine runs — they release the GIL — and process "
+             "for --engine object, which would serialize on threads)",
+    )
+    parser.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="vectorized batch kernels when available (auto), or force "
+             "one execution path",
     )
     parser.add_argument(
         "--schemes", default=",".join(SCHEME_KEYS),
         help="comma-separated scheme keys (first is the baseline)",
     )
     args = parser.parse_args()
-    executor = ProcessExecutor(args.workers) if args.workers > 1 else None
     scheme_keys = tuple(key for key in args.schemes.split(",") if key)
     if not scheme_keys:
         parser.error("--schemes needs at least one scheme key")
+    executor = None
+    if args.workers > 1:
+        kind = args.executor or _default_executor_kind(scheme_keys, args.engine)
+        executor_cls = ThreadExecutor if kind == "thread" else ProcessExecutor
+        executor = executor_cls(args.workers)
 
     print("Cycling five 48-block sets to failure (this takes a few seconds)...\n")
     comparison = compare_schemes(
         TLC_3D_48L, scheme_keys=scheme_keys, block_count=48, step=50,
-        seed=1, executor=executor,
+        seed=1, executor=executor, engine=args.engine,
     )
 
     base = comparison.curves[scheme_keys[0]].lifetime_pec

@@ -19,6 +19,7 @@ from repro.characterization.platform import TestPlatform
 from repro.core.ept import FelpSample
 from repro.erase.mispe import MIspeScheme
 from repro.errors import ConfigError
+from repro.kernels import BlockArrayState, resolve_kernel
 from repro.nand.block import Block
 from repro.rng import derive_rng
 
@@ -61,18 +62,38 @@ def erase_latency_cdf(
     platform: TestPlatform,
     pec_points: Sequence[int] = (0, 1000, 2000, 3000, 4000, 5000),
     blocks_per_point: int = 200,
+    engine: str = "auto",
 ) -> EraseLatencyCdfResult:
-    """Measure mtBERS across the population at each PEC point (m-ISPE)."""
+    """Measure mtBERS across the population at each PEC point (m-ISPE).
+
+    ``engine="auto"`` (default) measures the whole population per PEC
+    point through the vectorized m-ISPE batch kernel — the headline
+    quantities (NISPE, mtBERS) are deterministic in each block's
+    required-work draw, so kernel and object results are identical;
+    ``engine="object"`` keeps the per-block loop.
+    """
     scheme = MIspeScheme(platform.profile)
+    kernel = resolve_kernel(scheme, engine)
     rng = derive_rng(platform.seed, "fig4")
     result = EraseLatencyCdfResult(pec_points=list(pec_points))
     for pec in pec_points:
-        values: List[float] = []
         histogram: Dict[int, int] = {}
-        for block in platform.sample_blocks(pec, blocks_per_point):
-            measurement = scheme.measure(block, rng)
-            values.append(measurement.min_t_bers_ms)
-            histogram[measurement.nispe] = histogram.get(measurement.nispe, 0) + 1
+        if kernel is not None:
+            state = BlockArrayState.from_blocks(
+                platform.sample_blocks(pec, blocks_per_point)
+            )
+            _, nispe, mtbers_us = kernel.measure_batch(state)
+            values = list(mtbers_us / 1000.0)
+            for loops, count in zip(*np.unique(nispe, return_counts=True)):
+                histogram[int(loops)] = int(count)
+        else:
+            values = []
+            for block in platform.sample_blocks(pec, blocks_per_point):
+                measurement = scheme.measure(block, rng)
+                values.append(measurement.min_t_bers_ms)
+                histogram[measurement.nispe] = (
+                    histogram.get(measurement.nispe, 0) + 1
+                )
         result.mtbers_ms[pec] = sorted(values)
         result.nispe_histogram[pec] = histogram
     return result
@@ -98,13 +119,34 @@ def failbit_linearity(
     platform: TestPlatform,
     pec_points: Sequence[int] = (2000, 3000, 4000, 5000),
     blocks_per_point: int = 120,
+    engine: str = "auto",
 ) -> FailbitLinearityResult:
-    """Reproduce Figure 7: F falls by ~delta per 0.5 ms, floors at gamma."""
+    """Reproduce Figure 7: F falls by ~delta per 0.5 ms, floors at gamma.
+
+    ``engine="auto"`` (default) generates each PEC point's fail-bit
+    traces in one vectorized batch through the m-ISPE kernel (same
+    verify-read model, kernel-local noise stream); ``engine="object"``
+    replays the per-block measurement loop.
+    """
     scheme = MIspeScheme(platform.profile)
+    kernel = resolve_kernel(scheme, engine)
     rng = derive_rng(platform.seed, "fig7")
     per_loop = platform.profile.pulses_per_loop
     traces_by_nispe: Dict[int, List[List[int]]] = {}
     for pec in pec_points:
+        if kernel is not None:
+            state = BlockArrayState.from_blocks(
+                platform.sample_blocks(pec, blocks_per_point)
+            )
+            required, traces = kernel.trace_batch(state, rng)
+            nispe = (required + per_loop - 1) // per_loop
+            for index in range(state.count):
+                if nispe[index] < 2:
+                    continue
+                traces_by_nispe.setdefault(int(nispe[index]), []).append(
+                    traces[index, : required[index]].tolist()
+                )
+            continue
         for block in platform.sample_blocks(pec, blocks_per_point):
             measurement = scheme.measure(block, rng)
             if measurement.nispe < 2:

@@ -117,6 +117,11 @@ class AeroEraseScheme(EraseScheme):
         finally:
             self._use_shallow_override = None
 
+    def batch_kernel(self):
+        from repro.kernels.erase import AeroBatchKernel
+
+        return AeroBatchKernel.from_scheme(self)
+
     def shallow_enabled(self, block: Block) -> bool:
         """Whether the internal SEF would use shallow erasure on ``block``."""
         return self._shallow_flags.get(block.address, True)

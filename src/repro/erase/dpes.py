@@ -47,6 +47,11 @@ class DpesScheme(EraseScheme):
         #: Per-pulse damage multiplier from the reduced erase voltage.
         self.damage_factor = (1.0 - VOLTAGE_REDUCTION) ** exponent
 
+    def batch_kernel(self):
+        from repro.kernels.erase import DpesBatchKernel
+
+        return DpesBatchKernel(self.profile)
+
     def is_active(self, block: Block) -> bool:
         """Whether voltage scaling still applies to ``block``."""
         return block.wear.pec < APPLICABLE_PEC_LIMIT

@@ -38,6 +38,11 @@ class IntelligentIspeScheme(EraseScheme):
         super().__init__(profile)
         self._memorized_loop: Dict[BlockAddress, int] = {}
 
+    def batch_kernel(self):
+        from repro.kernels.erase import IispeBatchKernel
+
+        return IispeBatchKernel(self.profile)
+
     def memorized_loop(self, block: Block) -> int:
         """The loop i-ISPE will start from for ``block`` (1 if unknown)."""
         return self._memorized_loop.get(block.address, 1)

@@ -21,6 +21,11 @@ class BaselineIspeScheme(EraseScheme):
 
     name = "baseline"
 
+    def batch_kernel(self):
+        from repro.kernels.erase import BaselineBatchKernel
+
+        return BaselineBatchKernel(self.profile)
+
     def _run(
         self,
         block: Block,

@@ -41,6 +41,11 @@ class MIspeScheme(EraseScheme):
 
     name = "m-ispe"
 
+    def batch_kernel(self):
+        from repro.kernels.erase import MispeBatchKernel
+
+        return MispeBatchKernel(self.profile)
+
     def _run(
         self,
         block: Block,

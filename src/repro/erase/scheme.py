@@ -177,6 +177,18 @@ class EraseScheme(ABC):
         """
         return 1.0
 
+    def batch_kernel(self):
+        """A fresh vectorized batch kernel, or ``None`` (no kernel).
+
+        Schemes with a kernel in :mod:`repro.kernels` override this;
+        campaign drivers (lifetime simulator, characterization loops)
+        use the kernel when one is returned and fall back to per-block
+        :meth:`erase` calls otherwise, so third-party schemes work
+        unchanged. Kernels carry the scheme's mutable state (i-ISPE
+        memory, AERO shallow flags): create one per block population.
+        """
+        return None
+
     # --- shared helpers ---------------------------------------------------------
 
     def _pulse(

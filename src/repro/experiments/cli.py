@@ -30,7 +30,12 @@ from repro.experiments.registry import SCHEMES, WORKLOADS
 from repro.experiments.runner import run_experiments
 from repro.experiments.spec import ExperimentSpec, load_spec_file
 from repro.harness.cache import ResultCache
-from repro.harness.executors import ProcessExecutor, SerialExecutor
+from repro.harness.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.kernels import ENGINES
 
 _SSD_PRESETS = {
     "small": SsdSpec.small_test,
@@ -38,9 +43,13 @@ _SSD_PRESETS = {
     "paper": lambda seed=0xAE20: SsdSpec.paper_table2(),
 }
 
+_EXECUTORS = {"process": ProcessExecutor, "thread": ThreadExecutor}
 
-def _make_executor(workers: int):
-    return ProcessExecutor(workers) if workers > 1 else SerialExecutor()
+
+def _make_executor(workers: int, kind: str = "process"):
+    if workers <= 1:
+        return SerialExecutor()
+    return _EXECUTORS[kind](workers)
 
 
 def _parse_age(text: str) -> float:
@@ -96,7 +105,11 @@ def _csv_ints(text: str) -> List[int]:
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for cell fan-out (default: serial)",
+        help="workers for cell fan-out (default: serial)",
+    )
+    parser.add_argument(
+        "--executor", choices=sorted(_EXECUTORS), default="process",
+        help="worker kind when --workers > 1 (default: process)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -163,7 +176,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         specs = [_spec_from_flags(args)]
     result = run_experiments(
         specs,
-        executor=_make_executor(args.workers),
+        executor=_make_executor(args.workers, args.executor),
         cache_dir=args.cache_dir,
     )
     if args.json:
@@ -233,7 +246,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     ]
     result = run_experiments(
         specs,
-        executor=_make_executor(args.workers),
+        executor=_make_executor(args.workers, args.executor),
         cache_dir=args.cache_dir,
     )
     grid = result.grid
@@ -273,6 +286,26 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 # --- compare -----------------------------------------------------------------
 
 
+def _default_compare_executor(schemes, profile, engine: str) -> str:
+    """Pick the fan-out kind that actually parallelizes the sweep.
+
+    Threads only pay off when every worker releases the GIL — i.e. when
+    every compared scheme runs on its batch kernel. Any scheme falling
+    back to the pure-Python object path serializes a thread pool, so
+    those sweeps default to processes.
+    """
+    if engine == "object":
+        return "process"
+    if engine == "kernel":
+        return "thread"
+    from repro.kernels import kernel_for_scheme
+
+    for key in schemes:
+        if kernel_for_scheme(SCHEMES.create(key, profile)) is None:
+            return "process"
+    return "thread"
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.lifetime.comparison import compare_schemes
     from repro.nand.chip_types import profile_by_name
@@ -282,8 +315,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for scheme in args.schemes:
         SCHEMES.get(scheme)
     profile = profile_by_name(args.profile)
+    kind = args.executor or _default_compare_executor(
+        args.schemes, profile, args.engine
+    )
     executor = (
-        ProcessExecutor(args.workers) if args.workers > 1 else None
+        _EXECUTORS[kind](args.workers) if args.workers > 1 else None
     )
     comparison = compare_schemes(
         profile,
@@ -295,6 +331,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         requirement=args.requirement,
         mispredict_rate=args.mispredict_rate,
         executor=executor,
+        engine=args.engine,
     )
     baseline_key = args.schemes[0]
     base = comparison.curves[baseline_key].lifetime_pec
@@ -489,8 +526,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--mispredict-rate", type=float, default=0.0,
                          help="forced AERO misprediction rate (Figure 16)")
     compare.add_argument("--workers", type=int, default=1,
-                         help="worker processes, one scheme each")
+                         help="workers, one scheme each (default: serial)")
+    compare.add_argument("--executor", choices=sorted(_EXECUTORS),
+                         default=None,
+                         help="worker kind when --workers > 1 (default: "
+                              "thread when every scheme runs on its batch "
+                              "kernel — kernels release the GIL, so threads "
+                              "avoid the process pickle tax — else process)")
+    compare.add_argument("--engine", choices=list(ENGINES),
+                         default="auto",
+                         help="lifetime engine: vectorized batch kernel "
+                              "when the scheme provides one (auto), or "
+                              "force one path")
     compare.set_defaults(func=_cmd_compare)
+
+    bench = sub.add_parser(
+        "bench", help="time the hot campaigns, write the perf artifact"
+    )
+    from repro.harness.bench import add_bench_arguments, run_from_args
+
+    add_bench_arguments(bench)
+    bench.set_defaults(func=run_from_args)
 
     cache = sub.add_parser("cache", help="inspect or prune the result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -9,7 +9,8 @@ show. The package splits the old single-module harness into layers:
 * :mod:`repro.harness.grid` — :class:`EvaluationGrid` with an O(1)
   ``(scheme, pec, workload)`` index and figure-shaped projections;
 * :mod:`repro.harness.executors` — :class:`SerialExecutor` /
-  :class:`ProcessExecutor`, the pluggable ``map`` strategies;
+  :class:`ProcessExecutor` / :class:`ThreadExecutor`, the pluggable
+  ``map`` strategies;
 * :mod:`repro.harness.cache` — :class:`ResultCache`, one JSON file per
   finished cell, fingerprint-keyed, resume-friendly;
 * :mod:`repro.harness.runner` — :class:`GridRunner` and the
@@ -46,7 +47,11 @@ from repro.harness.cells import (
     PAPER_SCHEMES,
     run_workload_cell,
 )
-from repro.harness.executors import ProcessExecutor, SerialExecutor
+from repro.harness.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
 from repro.harness.grid import CellKey, EvaluationGrid, GridCell
 from repro.harness.runner import (
     CellJob,
@@ -72,6 +77,7 @@ __all__ = [
     "ResultCache",
     "RunStats",
     "SerialExecutor",
+    "ThreadExecutor",
     "cell_fingerprint",
     "execute_cell",
     "grid_from_jobs",

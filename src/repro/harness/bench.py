@@ -1,0 +1,255 @@
+"""Perf-tracking bench harness: the ``BENCH_PR4.json`` trajectory artifact.
+
+Times the two hot campaign shapes — the five-scheme Figure 13 lifetime
+sweep (object vs kernel engine, equal block count and step) and one
+evaluation-grid cell — as median-of-N wall times, and writes a JSON
+artifact future PRs can diff to catch regressions. Exposed as
+``python -m repro bench`` and as the standalone
+``benchmarks/perf_bench.py`` script; CI runs it in ``--smoke`` mode
+(tiny block counts) on every push and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as _platform
+import statistics
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the artifact layout changes.
+ARTIFACT_VERSION = 1
+
+#: Default artifact path (repo-relative), named after the PR that
+#: introduced the perf trajectory.
+DEFAULT_ARTIFACT = "BENCH_PR4.json"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One bench campaign's knobs (recorded verbatim in the artifact)."""
+
+    profile: str = "3D-TLC-48L"
+    schemes: Tuple[str, ...] = ("baseline", "iispe", "dpes", "aero_cons", "aero")
+    blocks: int = 128
+    step: int = 50
+    max_pec: int = 12000
+    seed: int = 0xAE20
+    repeats: int = 3
+    grid_scheme: str = "aero"
+    grid_pec: int = 2500
+    grid_workload: str = "ali.A"
+    grid_requests: int = 600
+    smoke: bool = False
+
+    @classmethod
+    def smoke_config(cls) -> "BenchConfig":
+        """Tiny CI-sized campaign: exercises both engines in seconds."""
+        return cls(
+            blocks=16,
+            step=100,
+            max_pec=3000,
+            repeats=2,
+            grid_requests=120,
+            smoke=True,
+        )
+
+
+def _time_repeats(fn: Callable[[], object], repeats: int) -> List[float]:
+    """Wall-time ``fn`` ``repeats`` times (perf_counter seconds)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _summary(times: Sequence[float]) -> Dict[str, object]:
+    return {
+        "times_s": [round(value, 6) for value in times],
+        "median_s": round(statistics.median(times), 6),
+    }
+
+
+def bench_lifetime_sweep(config: BenchConfig) -> Dict[str, object]:
+    """Time the Figure 13 sweep on both engines at equal work.
+
+    Both engines cycle the same block sets with the same seeds, so the
+    produced curves (recorded in the payload for cross-checking) cover
+    the same P/E range — the speedup ratio compares equal work.
+    """
+    from repro.lifetime.comparison import compare_schemes
+    from repro.nand.chip_types import profile_by_name
+
+    profile = profile_by_name(config.profile)
+
+    def sweep(engine: str):
+        return compare_schemes(
+            profile,
+            scheme_keys=config.schemes,
+            block_count=config.blocks,
+            step=config.step,
+            seed=config.seed,
+            max_pec=config.max_pec,
+            engine=engine,
+        )
+
+    result: Dict[str, object] = {}
+    medians: Dict[str, float] = {}
+    for engine in ("object", "kernel"):
+        comparison = sweep(engine)  # warm-up + lifetime capture
+        times = _time_repeats(lambda: sweep(engine), config.repeats)
+        medians[engine] = statistics.median(times)
+        result[f"engine_{engine}"] = {
+            **_summary(times),
+            "lifetime_pec": {
+                key: curve.lifetime_pec
+                for key, curve in comparison.curves.items()
+            },
+        }
+    result["speedup"] = round(medians["object"] / medians["kernel"], 2)
+    per_scheme: Dict[str, object] = {}
+    for key in config.schemes:
+        scheme_times = {}
+        for engine in ("object", "kernel"):
+            times = _time_repeats(
+                lambda: compare_schemes(
+                    profile,
+                    scheme_keys=(key,),
+                    block_count=config.blocks,
+                    step=config.step,
+                    seed=config.seed,
+                    max_pec=config.max_pec,
+                    engine=engine,
+                ),
+                config.repeats,
+            )
+            scheme_times[f"{engine}_s"] = round(statistics.median(times), 6)
+        scheme_times["speedup"] = round(
+            scheme_times["object_s"] / scheme_times["kernel_s"], 2
+        )
+        per_scheme[key] = scheme_times
+    result["per_scheme"] = per_scheme
+    return result
+
+
+def bench_grid_cell(config: BenchConfig) -> Dict[str, object]:
+    """Time one evaluation-grid cell (SSD replay; object engine only)."""
+    from repro.harness.cells import run_workload_cell
+
+    def cell():
+        return run_workload_cell(
+            config.grid_scheme,
+            config.grid_pec,
+            config.grid_workload,
+            requests=config.grid_requests,
+            seed=config.seed,
+        )
+
+    cell()  # warm-up (trace synthesis, registry population)
+    times = _time_repeats(cell, config.repeats)
+    return {
+        **_summary(times),
+        "engine": "object",
+        "cell": {
+            "scheme": config.grid_scheme,
+            "pec": config.grid_pec,
+            "workload": config.grid_workload,
+            "requests": config.grid_requests,
+        },
+    }
+
+
+def run_bench(config: BenchConfig) -> Dict[str, object]:
+    """Run the full bench and assemble the artifact payload."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "label": "PR4",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "config": asdict(config),
+        "lifetime_sweep": bench_lifetime_sweep(config),
+        "grid_cell": bench_grid_cell(config),
+    }
+
+
+def write_artifact(payload: Dict[str, object], path: str) -> None:
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the bench flags (shared by the CLI and the script)."""
+    defaults = BenchConfig()
+    parser.add_argument("--out", default=DEFAULT_ARTIFACT,
+                        help=f"artifact path (default: {DEFAULT_ARTIFACT})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI-sized campaign (seconds, not minutes)")
+    parser.add_argument("--profile", default=defaults.profile)
+    parser.add_argument("--schemes", default=",".join(defaults.schemes),
+                        help="comma-separated scheme keys to sweep")
+    parser.add_argument("--blocks", type=int, default=None,
+                        help=f"blocks per scheme set (default: {defaults.blocks})")
+    parser.add_argument("--step", type=int, default=None)
+    parser.add_argument("--max-pec", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repetitions per measurement (median wins)")
+    parser.add_argument("--grid-requests", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--json", action="store_true",
+                        help="print the payload to stdout as well")
+
+
+def config_from_args(args: argparse.Namespace) -> BenchConfig:
+    config = BenchConfig.smoke_config() if args.smoke else BenchConfig()
+    overrides = {
+        "profile": args.profile,
+        "schemes": tuple(
+            key.strip() for key in args.schemes.split(",") if key.strip()
+        ),
+        "seed": args.seed,
+    }
+    for name in ("blocks", "step", "max_pec", "repeats", "grid_requests"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    return replace(config, **overrides)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the bench described by parsed flags; returns exit code."""
+    config = config_from_args(args)
+    payload = run_bench(config)
+    write_artifact(payload, args.out)
+    sweep = payload["lifetime_sweep"]
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"lifetime sweep ({len(config.schemes)} schemes, "
+            f"{config.blocks} blocks, step {config.step}): "
+            f"object {sweep['engine_object']['median_s']:.3f}s, "
+            f"kernel {sweep['engine_kernel']['median_s']:.3f}s "
+            f"-> {sweep['speedup']:.1f}x"
+        )
+        cell = payload["grid_cell"]
+        print(
+            f"grid cell ({config.grid_scheme}@{config.grid_pec} "
+            f"{config.grid_workload}, {config.grid_requests} requests): "
+            f"{cell['median_s']:.3f}s"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (used by ``benchmarks/perf_bench.py``)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

@@ -19,7 +19,7 @@ wall-clock time, never outcomes.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from repro.errors import ConfigError
@@ -89,3 +89,48 @@ class ProcessExecutor:
 
     def __repr__(self) -> str:
         return f"ProcessExecutor(workers={self.workers})"
+
+
+class ThreadExecutor:
+    """Fan jobs out across ``workers`` threads in this process.
+
+    Threads share memory, so there is no pickle tax on job arguments or
+    results — the right trade for jobs that release the GIL (the NumPy
+    batch kernels in :mod:`repro.kernels` do, which is why lifetime
+    campaigns on the kernel engine fan out better over threads than
+    over processes). Pure-Python jobs still serialize on the GIL; use
+    :class:`ProcessExecutor` for those.
+
+    Results are returned in submission order, and jobs being pure
+    functions of their arguments makes thread, process, and serial runs
+    bit-identical — the same determinism contract as the other two
+    executors.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigError(f"need at least 1 worker, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        return list(self.imap(fn, items))
+
+    def imap(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Yield results in submission order as workers finish them."""
+        items = list(items)
+        if not items:
+            return
+        workers = min(self.workers, len(items))
+        if workers == 1:
+            for item in items:
+                yield fn(item)
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(fn, items)
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(workers={self.workers})"

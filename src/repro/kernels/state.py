@@ -1,0 +1,182 @@
+"""Structure-of-arrays block state for the vectorized batch kernels.
+
+:class:`BlockArrayState` is the batch counterpart of a list of
+:class:`~repro.nand.block.Block` objects: one NumPy array per physical
+quantity (process-variation ``base``/``rate`` draws, damage-normalized
+wear age, P/E count, residual fail bits / NISPE from the last erase)
+instead of one Python object per block. The batch erase kernels in
+:mod:`repro.kernels.erase` advance every block of the array per step,
+which is what turns the lifetime and characterization hot loops from
+O(blocks) Python into a handful of vectorized operations.
+
+Bit-compatibility: the arrays are initialized *from* the existing
+:class:`~repro.nand.erase_model.BlockEraseModel` instances (same seed
+derivation, same truncated-normal draws), and the per-erase jitter is
+drawn from each model's own jitter stream in buffered batches — NumPy
+``Generator`` array fills consume the stream exactly like repeated
+scalar draws, so the kernel path sees the same required-pulse sequence
+as the object path. The wear-age update mirrors
+:meth:`~repro.nand.erase_model.WearState.record_erase` term for term.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nand.block import Block
+from repro.nand.chip_types import ChipProfile
+from repro.nand.erase_model import (
+    ERASE_WEAR_SHARE,
+    PROGRAM_WEAR_SHARE,
+    BlockEraseModel,
+)
+
+#: Jitter draws buffered per refill (one column is consumed per erase).
+_JITTER_CHUNK = 64
+
+#: Ladder headroom beyond ``max_loops`` covered by the damage lookup
+#: table (i-ISPE may escalate past the datasheet budget).
+_LOOP_HEADROOM = 4
+
+
+class BlockArrayState:
+    """Per-block state of a block population, stored as arrays.
+
+    Mutable wear quantities (``age``, ``pec``, ``damage_total``,
+    ``residual_fail_bits``, ``residual_nispe``) advance through
+    :meth:`record_erase`; the static process-variation draws
+    (``base``, ``rate``, ``sensitivity``) are fixed at construction.
+    """
+
+    def __init__(self, profile: ChipProfile, models: Sequence[BlockEraseModel]):
+        if not models:
+            raise ConfigError("block array needs at least one block")
+        self.profile = profile
+        self.models: List[BlockEraseModel] = list(models)
+        n = len(self.models)
+        self.count = n
+        self.base = np.array([m.base for m in self.models], dtype=np.float64)
+        self.rate = np.array([m.rate for m in self.models], dtype=np.float64)
+        self.sensitivity = self.rate / profile.erase_work.rate_mean
+        self.age = np.zeros(n, dtype=np.float64)
+        self.pec = np.zeros(n, dtype=np.int64)
+        self.damage_total = np.zeros(n, dtype=np.float64)
+        self.residual_fail_bits = np.zeros(n, dtype=np.int64)
+        self.residual_nispe = np.ones(n, dtype=np.int64)
+        points = profile.erase_work.floor_points
+        self._floor_x = np.array([p[0] for p in points], dtype=np.float64)
+        self._floor_y = np.array([p[1] for p in points], dtype=np.float64)
+        max_loop = profile.max_loops + _LOOP_HEADROOM
+        #: ``pulse_damage_lut[k]`` = damage of one pulse quantum in loop k.
+        self.pulse_damage_lut = np.array(
+            [0.0] + [profile.pulse_damage(k) for k in range(1, max_loop + 1)]
+        )
+        #: ``cum_loop_damage[k]`` = sum of pulse_damage over loops 1..k.
+        self.cum_loop_damage = np.cumsum(self.pulse_damage_lut)
+        self._jitter_buf: np.ndarray | None = None
+        self._jitter_pos = 0
+
+    # --- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_blocks(cls, blocks: Sequence[Block]) -> "BlockArrayState":
+        """Mirror a list of ``Block`` objects, wear state included."""
+        if not blocks:
+            raise ConfigError("block array needs at least one block")
+        state = cls(blocks[0].profile, [b.erase_model for b in blocks])
+        state.age = np.array([b.wear.age_kilocycles for b in blocks])
+        state.pec = np.array([b.wear.pec for b in blocks], dtype=np.int64)
+        state.damage_total = np.array([b.wear.damage_total for b in blocks])
+        state.residual_fail_bits = np.array(
+            [b.wear.residual_fail_bits for b in blocks], dtype=np.int64
+        )
+        state.residual_nispe = np.array(
+            [b.wear.residual_nispe for b in blocks], dtype=np.int64
+        )
+        return state
+
+    # --- required erase work --------------------------------------------------
+
+    def draw_jitter(self) -> np.ndarray:
+        """One erase-to-erase jitter draw per block (buffered refills).
+
+        Consumes each block's own jitter stream, so the sequence seen
+        by block ``i`` is identical to what ``required_pulses`` on the
+        corresponding :class:`BlockEraseModel` would have drawn.
+        """
+        if self._jitter_buf is None or self._jitter_pos >= self._jitter_buf.shape[1]:
+            self._jitter_buf = np.stack(
+                [m.jitter_batch(_JITTER_CHUNK) for m in self.models], axis=0
+            )
+            self._jitter_pos = 0
+        column = self._jitter_buf[:, self._jitter_pos]
+        self._jitter_pos += 1
+        return column
+
+    def _floor_pulses(self, age: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`EraseWorkModel.floor_pulses` (same rounding)."""
+        pec = np.rint(age * 1000.0)
+        return np.interp(pec / 1000.0, self._floor_x, self._floor_y)
+
+    def _pulses(self, jitter: np.ndarray | float) -> np.ndarray:
+        work = self.profile.erase_work
+        raw = self.base + self.rate * self.age ** work.pec_exponent + jitter
+        bounded = np.maximum(raw, self._floor_pulses(self.age))
+        clipped = np.clip(np.rint(bounded), 1, self.profile.max_pulses)
+        return clipped.astype(np.int64)
+
+    def required_pulses(self, jitter: np.ndarray | None = None) -> np.ndarray:
+        """Sample each block's required pulses for one erase."""
+        if jitter is None:
+            jitter = self.draw_jitter()
+        return self._pulses(jitter)
+
+    def deterministic_pulses(self) -> np.ndarray:
+        """Required pulses at the current wear, without operation jitter."""
+        return self._pulses(0.0)
+
+    def nispe(self) -> np.ndarray:
+        """Loops a standard ISPE erase needs per block at current wear."""
+        per_loop = self.profile.pulses_per_loop
+        return (self.deterministic_pulses() + per_loop - 1) // per_loop
+
+    def baseline_damage(self) -> np.ndarray:
+        """Damage a Baseline ISPE erase would inflict per block."""
+        loops = self.nispe()
+        return self.profile.pulses_per_loop * self.cum_loop_damage[loops]
+
+    # --- wear accounting ------------------------------------------------------
+
+    def record_erase(
+        self,
+        damage: np.ndarray,
+        residual_fail_bits: np.ndarray,
+        nispe: np.ndarray,
+        cycles: int = 1,
+    ) -> None:
+        """Account one batch erase (``cycles`` coarse-step cycles each).
+
+        Mirrors :meth:`WearState.record_erase`: damage is normalized by
+        the Baseline reference at the *pre-erase* wear age, so Baseline
+        cycling ages every block by exactly one cycle per erase.
+        """
+        baseline = self.baseline_damage()
+        ratio = np.where(baseline > 0, damage / baseline, 1.0)
+        step = (PROGRAM_WEAR_SHARE + ERASE_WEAR_SHARE * ratio) / 1000.0
+        self.age = self.age + step * cycles
+        self.pec = self.pec + cycles
+        self.damage_total = self.damage_total + damage * cycles
+        self.residual_fail_bits = np.asarray(residual_fail_bits, dtype=np.int64)
+        self.residual_nispe = np.asarray(nispe, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockArrayState({self.profile.name}, blocks={self.count}, "
+            f"mean_age={float(np.mean(self.age)):.3f}kc)"
+        )

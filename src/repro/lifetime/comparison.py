@@ -55,6 +55,7 @@ class _CurveJob:
     mispredict_rate: float
     requirement: Optional[int]
     max_pec: int
+    engine: str = "auto"
 
 
 def _run_curve(job: _CurveJob) -> LifetimeCurve:
@@ -67,6 +68,7 @@ def _run_curve(job: _CurveJob) -> LifetimeCurve:
         seed=job.seed,
         mispredict_rate=job.mispredict_rate,
         requirement=job.requirement,
+        engine=job.engine,
     )
     return simulator.run(max_pec=job.max_pec)
 
@@ -81,6 +83,7 @@ def compare_schemes(
     requirement: Optional[int] = None,
     mispredict_rate: float = 0.0,
     executor: Optional[Any] = None,
+    engine: str = "auto",
 ) -> SchemeComparison:
     """Run the Figure 13 campaign: one block set per erase scheme.
 
@@ -93,6 +96,12 @@ def compare_schemes(
     Scheme keys resolve through :data:`repro.experiments.SCHEMES`, so
     registered plugin schemes compare alongside the built-ins; unknown
     keys fail fast with the registry's rich error before any cycling.
+
+    ``engine`` selects the per-scheme execution path: ``auto`` (the
+    default) cycles each block set through the scheme's vectorized
+    batch kernel when it provides one and falls back to per-block
+    object erases otherwise; ``object``/``kernel`` force one path
+    (``kernel`` raises for schemes without a kernel).
     """
     for key in scheme_keys:
         SCHEMES.get(key)
@@ -107,6 +116,7 @@ def compare_schemes(
             mispredict_rate=mispredict_rate if key.startswith("aero") else 0.0,
             requirement=requirement,
             max_pec=max_pec,
+            engine=engine,
         )
         for key in scheme_keys
     ]
@@ -125,6 +135,7 @@ def misprediction_sensitivity(
     block_count: int = 32,
     step: int = 50,
     seed: int = 0xAE20,
+    engine: str = "auto",
 ) -> Dict[float, Dict[str, LifetimeCurve]]:
     """Figure 16 (lifetime panel): inject forced mispredictions.
 
@@ -143,6 +154,7 @@ def misprediction_sensitivity(
                 step=step,
                 seed=seed,
                 mispredict_rate=rate,
+                engine=engine,
             )
             results[rate][key] = simulator.run()
     return results
@@ -155,6 +167,7 @@ def requirement_sensitivity(
     block_count: int = 32,
     step: int = 50,
     seed: int = 0xAE20,
+    engine: str = "auto",
 ) -> Dict[int, SchemeComparison]:
     """Figure 17 (lifetime panel): weaker ECC shrinks the margin.
 
@@ -172,5 +185,6 @@ def requirement_sensitivity(
             step=step,
             seed=seed,
             requirement=requirement,
+            engine=engine,
         )
     return results

@@ -27,7 +27,8 @@ from repro.nand.chip_types import ChipProfile
 from repro.nand.geometry import BlockAddress
 from repro.nand.rber import RberModel
 from repro.experiments.registry import SCHEMES
-from repro.rng import derive_rng
+from repro.kernels import BlockArrayState, resolve_kernel
+from repro.rng import derive, derive_rng
 
 
 @dataclass
@@ -70,12 +71,14 @@ class LifetimeSimulator:
         seed: int = 0xAE20,
         mispredict_rate: float = 0.0,
         requirement: Optional[int] = None,
+        engine: str = "auto",
     ):
         if block_count <= 0 or step <= 0:
             raise ConfigError("block count and step must be positive")
         self.profile = profile
         self.scheme_key = scheme_key
         self.step = step
+        self.engine = engine
         self.requirement = (
             requirement
             if requirement is not None
@@ -89,20 +92,24 @@ class LifetimeSimulator:
             rber_requirement=requirement,
         )
         self.rng = derive_rng(seed, "lifetime", scheme_key)
+        self.seed = seed
         self.blocks: List[Block] = [
             Block(
-                address=BlockAddress(0, index // 997, 0, index % 997),
+                address=BlockAddress(0, 0, 0, index),
                 profile=profile,
                 pages=8,
-                seed=seed + 17,
+                seed=derive(seed, "lifetime-block", index),
             )
             for index in range(block_count)
         ]
+        self.kernel = resolve_kernel(self.scheme, engine, scheme_name=scheme_key)
         #: Per-block extra MRBER from the last erase (DPES window).
         self._extra_rber: Dict[int, float] = {}
 
     def run(self, max_pec: int = 12000, record_every: int = 250) -> LifetimeCurve:
         """Cycle until the average MRBER crosses the requirement."""
+        if self.kernel is not None:
+            return self._run_kernel(max_pec, record_every)
         curve = LifetimeCurve(
             scheme=self.scheme.name, requirement=float(self.requirement)
         )
@@ -119,6 +126,54 @@ class LifetimeSimulator:
                     curve.lifetime_pec = pec
                     break
         return curve
+
+    def _run_kernel(self, max_pec: int, record_every: int) -> LifetimeCurve:
+        """Vectorized run: one batch-kernel step per coarse erase.
+
+        The block array initializes from the same :class:`Block` set
+        (same seed derivation, same jitter streams), so schemes whose
+        ladder is deterministic in the required-work draw — baseline,
+        DPES, i-ISPE, m-ISPE — reproduce the object path's trajectory
+        exactly; AERO's verify-noise draws come from a kernel-local
+        generator and match statistically.
+        """
+        curve = LifetimeCurve(
+            scheme=self.scheme.name, requirement=float(self.requirement)
+        )
+        state = BlockArrayState.from_blocks(self.blocks)
+        kernel_rng = derive_rng(self.seed, "lifetime", self.scheme_key, "kernel")
+        extra_rber = np.zeros(state.count)
+        pec = 0
+        self._record_kernel_point(curve, pec, state, extra_rber)
+        while pec < max_pec:
+            result = self.kernel.erase_batch(state, kernel_rng, cycles=self.step)
+            extra_rber = result.rber_offset
+            pec += self.step
+            if pec % record_every == 0 or pec >= max_pec:
+                average = self._record_kernel_point(curve, pec, state, extra_rber)
+                if average > self.requirement:
+                    curve.lifetime_pec = pec
+                    break
+        return curve
+
+    def _record_kernel_point(
+        self,
+        curve: LifetimeCurve,
+        pec: int,
+        state: BlockArrayState,
+        extra_rber: np.ndarray,
+    ) -> float:
+        batch = self.rber.mrber_batch(
+            state.age,
+            state.residual_fail_bits,
+            state.residual_nispe,
+            extra_rber=extra_rber,
+            sensitivity=state.sensitivity,
+        )
+        average = float(np.mean(batch.total))
+        curve.pec_points.append(pec)
+        curve.avg_mrber.append(average)
+        return average
 
     def _record_point(self, curve: LifetimeCurve, pec: int) -> float:
         values = [

@@ -160,8 +160,13 @@ class Block:
             cycles=cycles,
         )
         self.erase_count += cycles
-        self._page_states = [PageState.FREE] * self.page_count
-        self._page_lpns = [None] * self.page_count
+        # Reset the page lists in place, and only up to the write
+        # pointer — pages past it were never programmed since the last
+        # erase, so they are already FREE/None.
+        states, lpns = self._page_states, self._page_lpns
+        for page in range(self.write_pointer):
+            states[page] = PageState.FREE
+            lpns[page] = None
         self.write_pointer = 0
         self.valid_count = 0
 

@@ -55,6 +55,9 @@ PROGRAM_WEAR_SHARE = 1.0 - ERASE_WEAR_SHARE
 #: Fail-bit saturation, in units of delta (all bitlines failing).
 FAILBIT_SATURATION_DELTAS = 8.0
 
+#: Standard deviation of the per-erase required-work jitter (pulses).
+ERASE_JITTER_STD = 0.35
+
 
 @dataclass
 class EraseState:
@@ -246,8 +249,19 @@ class BlockEraseModel:
 
     def required_pulses(self, age_kilocycles: float) -> int:
         """Sample this erase's required pulses (adds small operation jitter)."""
-        jitter = float(self._jitter_rng.normal(0.0, 0.35))
+        jitter = float(self._jitter_rng.normal(0.0, ERASE_JITTER_STD))
         return self._pulses(age_kilocycles, jitter)
+
+    def jitter_batch(self, count: int) -> np.ndarray:
+        """Draw ``count`` erase-to-erase jitter values from this block's stream.
+
+        NumPy generators fill arrays by repeating the scalar sampler, so
+        ``jitter_batch(k)`` consumes the stream exactly like ``k``
+        successive :meth:`required_pulses` calls would — the batch
+        kernels buffer these draws and stay jitter-identical to the
+        object path (see :mod:`repro.kernels.state`).
+        """
+        return self._jitter_rng.normal(0.0, ERASE_JITTER_STD, size=int(count))
 
     def _pulses(self, age_kilocycles: float, jitter: float) -> int:
         if age_kilocycles < 0:

@@ -31,6 +31,29 @@ from repro.nand.erase_model import WearState
 
 
 @dataclass(frozen=True)
+class RberBatch:
+    """Batched MRBER evaluation: one array per physical component.
+
+    The vectorized counterpart of :class:`RberSample`, produced by
+    :meth:`RberModel.mrber_batch` for a whole block population at once
+    (the lifetime/characterization hot path). Components follow the
+    same decomposition; there is no sampling-noise term (the batch path
+    evaluates the deterministic mean curve, like ``mrber(rng=None)``).
+    """
+
+    wear: np.ndarray
+    retention: np.ndarray
+    under_erase_penalty: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        """Per-block MRBER in raw bit errors per 1 KiB codeword."""
+        return np.maximum(
+            0.0, self.wear + self.retention + self.under_erase_penalty
+        )
+
+
+@dataclass(frozen=True)
 class RberSample:
     """One MRBER evaluation, decomposed into its physical components."""
 
@@ -147,6 +170,58 @@ class RberModel:
                 wear_state.residual_fail_bits, wear_state.residual_nispe
             ),
             noise=noise,
+        )
+
+    def mrber_batch(
+        self,
+        age_kilocycles: np.ndarray,
+        residual_fail_bits: np.ndarray,
+        residual_nispe: np.ndarray,
+        extra_rber: np.ndarray | float = 0.0,
+        sensitivity: np.ndarray | float = 1.0,
+    ) -> RberBatch:
+        """MRBER of a whole block population, one array per component.
+
+        Mirrors :meth:`mrber` (without sampling noise) term for term,
+        so the batch kernels' recorded trajectories match the scalar
+        path to float precision. ``age_kilocycles``/``residual_*``
+        come straight from a
+        :class:`~repro.kernels.state.BlockArrayState`.
+        """
+        age_kilocycles = np.asarray(age_kilocycles, dtype=np.float64)
+        if np.any(age_kilocycles < 0):
+            raise ConfigError("wear age must be non-negative")
+        wear = self.profile.wear
+        coef = wear.rber_sensitivity_coef
+        age = np.maximum(
+            0.0, age_kilocycles * (1.0 + coef * (np.asarray(sensitivity) - 1.0))
+        )
+        wear_component = (
+            wear.fresh_rber
+            + self.wear_scale * age ** wear.rber_exponent
+            + extra_rber
+        )
+        retention = (
+            wear.retention_rber_per_kpec * age * self.retention_factor
+        )
+        fail_bits = np.asarray(residual_fail_bits)
+        nispe = np.asarray(residual_nispe)
+        factor = np.clip(
+            wear.nispe_factor_start - wear.nispe_factor_slope * (nispe - 1),
+            wear.nispe_factor_min,
+            wear.nispe_factor_start,
+        )
+        excess = (fail_bits - self.profile.f_pass) / self.profile.delta
+        penalty = np.where(
+            fail_bits <= self.profile.f_pass,
+            0.0,
+            factor
+            * (wear.under_erase_rber_base + wear.under_erase_rber_per_delta * excess),
+        )
+        return RberBatch(
+            wear=wear_component,
+            retention=retention,
+            under_erase_penalty=penalty,
         )
 
     def meets_requirement(self, sample: RberSample) -> bool:

@@ -94,27 +94,31 @@ class Simulator:
         ``until`` stops the clock at a horizon (events beyond it stay
         queued); ``max_events`` bounds the number of callbacks (guard
         against runaway models).
+
+        The loop pops each live entry exactly once: cancelled entries
+        are pruned at the heap top, the horizon check reads the top
+        in place, and the fired event comes from a single ``heappop``
+        (the old ``_next_pending_time()`` + ``step()`` pairing popped
+        the top twice per event).
         """
         fired = 0
-        while self._heap:
+        heap = self._heap
+        while heap:
             if max_events is not None and fired >= max_events:
                 raise SchedulingError(
                     f"exceeded max_events={max_events}; runaway simulation?"
                 )
-            next_time = self._next_pending_time()
-            if next_time is None:
+            while heap and heap[0][3] is None:
+                heapq.heappop(heap)
+            if not heap:
                 break
-            if until is not None and next_time > until:
+            if until is not None and heap[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            time, _, __, callback = heapq.heappop(heap)
+            self._now = time
+            self._fired += 1
+            callback()
             fired += 1
         if until is not None:
             self._now = max(self._now, until)
-
-    def _next_pending_time(self) -> Optional[float]:
-        while self._heap and self._heap[0][3] is None:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0][0]

@@ -143,6 +143,34 @@ def test_compare_smoke(capsys):
     assert "Lifetime comparison" in out and "vs baseline" in out
 
 
+def test_compare_engine_and_executor_flags(capsys):
+    assert main([
+        "compare", "--schemes", "baseline,aero", "--blocks", "4",
+        "--step", "500", "--engine", "kernel",
+        "--workers", "2", "--executor", "thread",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Lifetime comparison" in out
+
+
+def test_bench_smoke_writes_artifact(tmp_path, capsys):
+    artifact = tmp_path / "BENCH_PR4.json"
+    assert main([
+        "bench", "--smoke", "--out", str(artifact),
+        "--blocks", "8", "--step", "500", "--repeats", "1",
+        "--schemes", "baseline,aero", "--grid-requests", "60",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "lifetime sweep" in out and "grid cell" in out
+    payload = json.loads(artifact.read_text())
+    assert payload["version"] == 1
+    sweep = payload["lifetime_sweep"]
+    assert sweep["speedup"] > 0
+    assert set(sweep["per_scheme"]) == {"baseline", "aero"}
+    assert payload["grid_cell"]["median_s"] > 0
+    assert payload["config"]["smoke"] is True
+
+
 def test_cache_gc_prunes_and_reports(tmp_path, capsys):
     cache_dir = str(tmp_path)
     for seed in (1, 2):

@@ -14,6 +14,7 @@ from repro.harness import (
     ProcessExecutor,
     ResultCache,
     SerialExecutor,
+    ThreadExecutor,
     cell_fingerprint,
     run_grid,
     run_workload_cell,
@@ -54,6 +55,47 @@ def test_process_grid_equals_serial_grid():
         assert cell_s.key == cell_p.key
         assert cell_s.report == cell_p.report
     assert grid_s == grid_p
+
+
+def test_thread_grid_equals_serial_grid():
+    serial = GridRunner(executor=SerialExecutor())
+    threaded = GridRunner(executor=ThreadExecutor(2))
+    grid_s = serial.run(**GRID_KWARGS)
+    grid_t = threaded.run(**GRID_KWARGS)
+    assert len(grid_s.cells) == len(grid_t.cells) == 4
+    for cell_s, cell_t in zip(grid_s.cells, grid_t.cells):
+        assert cell_s.key == cell_t.key
+        assert cell_s.report == cell_t.report
+    assert grid_s == grid_t
+
+
+def test_thread_executor_api():
+    import pytest as _pytest
+
+    from repro.errors import ConfigError
+
+    executor = ThreadExecutor(3)
+    assert executor.map(abs, [-2, 1, -3]) == [2, 1, 3]
+    assert list(executor.imap(abs, [])) == []
+    assert "workers=3" in repr(executor)
+    with _pytest.raises(ConfigError):
+        ThreadExecutor(0)
+
+
+def test_thread_lifetime_comparison_equals_serial():
+    from repro.lifetime import compare_schemes
+    from repro.nand.chip_types import TLC_3D_48L
+
+    kwargs = dict(
+        scheme_keys=("baseline", "aero"), block_count=12, step=200, seed=6
+    )
+    serial = compare_schemes(TLC_3D_48L, **kwargs)
+    threaded = compare_schemes(
+        TLC_3D_48L, executor=ThreadExecutor(2), **kwargs
+    )
+    for key in kwargs["scheme_keys"]:
+        assert serial.curves[key].lifetime_pec == threaded.curves[key].lifetime_pec
+        assert serial.curves[key].avg_mrber == threaded.curves[key].avg_mrber
 
 
 def test_warm_cache_executes_zero_cells(tmp_path):
