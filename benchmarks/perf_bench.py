@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-trajectory bench: times the hot campaigns, writes BENCH_PR4.json.
+"""Perf-trajectory bench: times the hot campaigns, writes BENCH_PR5.json.
 
 Standalone face of ``python -m repro bench`` (same flags, same
 artifact). Not a pytest module — run it directly:
@@ -10,8 +10,9 @@ artifact). Not a pytest module — run it directly:
 The artifact records median-of-N wall times for the five-scheme
 Figure 13 lifetime sweep on both engines (object vs vectorized kernel,
 equal block count and step), per-scheme speedup ratios, and one
-evaluation-grid cell, so perf regressions show up as a diff against the
-committed baseline.
+evaluation-grid cell replayed by both the object event loop and the
+lean cell kernel (bit-identical reports), so perf regressions show up
+as a diff against the committed baseline.
 """
 
 from repro.harness.bench import main

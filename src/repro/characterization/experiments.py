@@ -222,22 +222,39 @@ def felp_accuracy(
     platform: TestPlatform,
     pec_points: Sequence[int] = (1000, 2000, 3000, 4000, 5000),
     blocks_per_point: int = 160,
+    engine: str = "auto",
 ) -> FelpAccuracyResult:
-    """Reproduce Figure 8: F(N-1) conservatively predicts mtEP(N)."""
+    """Reproduce Figure 8: F(N-1) conservatively predicts mtEP(N).
+
+    ``engine="auto"`` (default) draws each PEC point's fail-bit traces
+    in one vectorized batch through the m-ISPE kernel (same verify-read
+    model, kernel-local noise stream, like the Figure 7 campaign);
+    ``engine="object"`` keeps the per-block measurement loop.
+    """
     scheme = MIspeScheme(platform.profile)
+    kernel = resolve_kernel(scheme, engine)
     rng = derive_rng(platform.seed, "fig8")
     profile = platform.profile
     per_loop = profile.pulses_per_loop
     joint: Dict[int, Dict[int, Dict[int, int]]] = {}
     samples: List[FelpSample] = []
     for pec in pec_points:
-        for block in platform.sample_blocks(pec, blocks_per_point):
-            measurement = scheme.measure(block, rng)
-            nispe = measurement.nispe
-            work = measurement.short_loops
-            trace = measurement.fail_bits_per_pulse
+        blocks = platform.sample_blocks(pec, blocks_per_point)
+        if kernel is not None:
+            state = BlockArrayState.from_blocks(blocks)
+            required, traces = kernel.trace_batch(state, rng)
+            measurements = [
+                (int(required[i]), traces[i]) for i in range(state.count)
+            ]
+        else:
+            measurements = [
+                (m.short_loops, m.fail_bits_per_pulse)
+                for m in (scheme.measure(block, rng) for block in blocks)
+            ]
+        for work, trace in measurements:
+            nispe = (work + per_loop - 1) // per_loop
             if nispe >= 2:
-                f_prev = trace[per_loop * (nispe - 1) - 1]
+                f_prev = int(trace[per_loop * (nispe - 1) - 1])
                 remaining = work - per_loop * (nispe - 1)
                 range_index = profile.failbit_range_index(f_prev)
                 joint.setdefault(nispe, {}).setdefault(range_index, {})
@@ -251,7 +268,7 @@ def felp_accuracy(
             elif work > 2:
                 # Single-loop block: the shallow probe's F(0) predicts
                 # the remainder (EPT row 1).
-                f0 = trace[1]
+                f0 = int(trace[1])
                 samples.append(
                     FelpSample(loop=1, fail_bits=f0, remaining_pulses=work - 2)
                 )
@@ -280,6 +297,7 @@ def shallow_erasure_sweep(
     tse_pulses_options: Sequence[int] = (1, 2, 3, 4),
     pec_points: Sequence[int] = (100, 500),
     blocks_per_point: int = 200,
+    engine: str = "auto",
 ) -> ShallowErasureResult:
     """Reproduce Figure 9: sweep the shallow-probe length.
 
@@ -287,9 +305,14 @@ def shallow_erasure_sweep(
     single-loop erase latency achievable with the conservative
     remainder prediction: ``tSE + tVR + tRE + tVR`` (capped at the
     default loop when no reduction is possible).
+
+    ``engine="auto"`` (default) draws each (tSE, PEC) population's
+    fail-bit traces in one vectorized batch through the m-ISPE kernel;
+    ``engine="object"`` keeps the per-block measurement loop.
     """
     profile = platform.profile
     scheme = MIspeScheme(profile)
+    kernel = resolve_kernel(scheme, engine)
     rng = derive_rng(platform.seed, "fig9")
     per_loop = profile.pulses_per_loop
     quantum_ms = profile.pulse_quantum_us / 1000.0
@@ -308,18 +331,27 @@ def shallow_erasure_sweep(
             latencies: List[float] = []
             reduced_count = 0
             blocks = platform.sample_blocks(pec, blocks_per_point)
-            for block in blocks:
-                measurement = scheme.measure(block, rng)
-                work = measurement.short_loops
-                trace = measurement.fail_bits_per_pulse
+            if kernel is not None:
+                state = BlockArrayState.from_blocks(blocks)
+                required, traces = kernel.trace_batch(state, rng)
+                measurements = [
+                    (int(required[i]), traces[i, : int(required[i])])
+                    for i in range(state.count)
+                ]
+            else:
+                measurements = [
+                    (m.short_loops, m.fail_bits_per_pulse)
+                    for m in (scheme.measure(block, rng) for block in blocks)
+                ]
+            for work, trace in measurements:
                 if work <= tse:
                     # Probe alone completes the erase.
-                    f0 = trace[-1]
+                    f0 = int(trace[-1])
                     range_index = 0
                     t_total = tse * quantum_ms + t_vr_ms
                     reduced_count += 1
                 else:
-                    f0 = trace[tse - 1]
+                    f0 = int(trace[tse - 1])
                     range_index = profile.failbit_range_index(f0)
                     remainder = table.lookup_pulses(profile, 1, f0)
                     remainder = min(remainder, per_loop - tse)
@@ -378,6 +410,7 @@ def reliability_margin(
     pec_points: Sequence[int] = (500, 1500, 2500, 3500, 4500),
     blocks_per_point: int = 150,
     requirement: Optional[int] = None,
+    engine: str = "auto",
 ) -> ReliabilityMarginResult:
     """Reproduce Figure 10: the margin left for aggressive reduction.
 
@@ -385,8 +418,17 @@ def reliability_margin(
     completely (NISPE loops at minimum latency) and one insufficiently
     (only NISPE-1 loops, leaving F(N-1) fail bits). Both then take the
     reference 1-year retention bake and report MRBER.
+
+    ``engine="auto"`` (default) draws the insufficient branch's
+    residual fail-bit counts per PEC point in one vectorized batch
+    through the m-ISPE kernel (reading F(N-1) off the batch trace
+    instead of looping verify reads); the erase physics and MRBER bake
+    stay on the real block clones either way. ``engine="object"``
+    keeps the fully per-block loop.
     """
     profile = platform.profile
+    scheme = MIspeScheme(profile)
+    kernel = resolve_kernel(scheme, engine)
     ecc = profile.ecc
     requirement = requirement if requirement is not None else ecc.requirement_bits_per_kib
     rng = derive_rng(platform.seed, "fig10")
@@ -394,8 +436,20 @@ def reliability_margin(
     complete_max: Dict[int, float] = {}
     insufficient_max: Dict[Tuple[int, int], float] = {}
     for pec in pec_points:
-        for index in range(blocks_per_point):
-            block_index = (index * 7) % platform.block_count
+        indices = [
+            (index * 7) % platform.block_count
+            for index in range(blocks_per_point)
+        ]
+        traces = None
+        if kernel is not None:
+            # Probe clones feed the batch; the jitter stream of each
+            # model restarts per clone, so the probes' required work
+            # matches the per-block clones erased below.
+            probes = [platform.block_at(i, pec) for i in indices]
+            _, traces = kernel.trace_batch(
+                BlockArrayState.from_blocks(probes), rng
+            )
+        for position, block_index in enumerate(indices):
             # --- complete erasure -------------------------------------
             complete = platform.block_at(block_index, pec)
             state = complete.begin_erase()
@@ -407,11 +461,17 @@ def reliability_margin(
                 continue
             insufficient = platform.block_at(block_index, pec)
             state = insufficient.begin_erase()
-            fail_bits = 0
-            for loop in range(1, nispe):
-                state.start_loop(loop)
-                state.apply_pulses(per_loop)
-                fail_bits = state.verify_read(rng)
+            if traces is not None:
+                fail_bits = int(traces[position, per_loop * (nispe - 1) - 1])
+                for loop in range(1, nispe):
+                    state.start_loop(loop)
+                    state.apply_pulses(per_loop)
+            else:
+                fail_bits = 0
+                for loop in range(1, nispe):
+                    state.start_loop(loop)
+                    state.apply_pulses(per_loop)
+                    fail_bits = state.verify_read(rng)
             insufficient.finish_erase(
                 state, residual_fail_bits=fail_bits, nispe=nispe
             )

@@ -94,18 +94,20 @@ class FelpPredictor:
                 reduced=False,
                 aggressive=False,
             )
-        table = self.conservative
-        aggressive = False
         if use_margin and self.aggressive is not None:
-            table = self.aggressive
-            aggressive = True
-        pulses = table.lookup_pulses(self.profile, loop, fail_bits)
-        conservative_pulses = self.conservative.lookup_pulses(
-            self.profile, loop, fail_bits
-        )
-        # An aggressive entry equal to the conservative one is not an
-        # intentional under-erase (e.g. Table 1 row 5: t2 == t1).
-        if aggressive and pulses == conservative_pulses:
+            pulses = self.aggressive.lookup_pulses(
+                self.profile, loop, fail_bits
+            )
+            conservative_pulses = self.conservative.lookup_pulses(
+                self.profile, loop, fail_bits
+            )
+            # An aggressive entry equal to the conservative one is not
+            # an intentional under-erase (e.g. Table 1 row 5: t2 == t1).
+            aggressive = pulses != conservative_pulses
+        else:
+            pulses = self.conservative.lookup_pulses(
+                self.profile, loop, fail_bits
+            )
             aggressive = False
         return PulsePrediction(
             loop=loop,

@@ -45,6 +45,25 @@ class EraseSegment:
             raise ValueError("segment duration must be non-negative")
 
 
+# Frozen segments are shareable, and erase ladders draw from a handful
+# of (duration, loop, pulses) combinations, so the record methods below
+# intern them instead of constructing ~5 fresh objects per erase.
+_SEGMENT_CACHE: dict = {}
+
+
+def _segment(
+    kind: SegmentKind, duration_us: float, loop: int, pulses: int = 0
+) -> EraseSegment:
+    key = (kind, duration_us, loop, pulses)
+    segment = _SEGMENT_CACHE.get(key)
+    if segment is None:
+        segment = EraseSegment(
+            kind=kind, duration_us=duration_us, loop=loop, pulses=pulses
+        )
+        _SEGMENT_CACHE[key] = segment
+    return segment
+
+
 @dataclass
 class EraseOperationResult:
     """Outcome of one erase operation.
@@ -93,11 +112,11 @@ class EraseOperationResult:
     def add_pulse(self, timing: NandTiming, loop: int, pulses: int) -> None:
         """Record an erase-pulse segment."""
         self.segments.append(
-            EraseSegment(
-                kind=SegmentKind.ERASE_PULSE,
-                duration_us=timing.erase_pulse_us(pulses),
-                loop=loop,
-                pulses=pulses,
+            _segment(
+                SegmentKind.ERASE_PULSE,
+                timing.erase_pulse_us(pulses),
+                loop,
+                pulses,
             )
         )
         self.total_pulses += pulses
@@ -105,11 +124,7 @@ class EraseOperationResult:
     def add_verify(self, timing: NandTiming, loop: int) -> None:
         """Record a verify-read segment."""
         self.segments.append(
-            EraseSegment(
-                kind=SegmentKind.VERIFY_READ,
-                duration_us=timing.t_vr_us,
-                loop=loop,
-            )
+            _segment(SegmentKind.VERIFY_READ, timing.t_vr_us, loop)
         )
 
 

@@ -135,6 +135,7 @@ def _spec_from_flags(args: argparse.Namespace) -> ExperimentSpec:
         seed=args.seed,
         erase_suspension=not args.no_suspension,
         ssd=ssd,
+        engine=args.engine,
     ).validate()
 
 
@@ -154,6 +155,7 @@ _RUN_FLAG_DEFAULTS = {
     "rber_requirement": None,
     "param": None,
     "ssd": "default",
+    "engine": "auto",
 }
 
 
@@ -239,6 +241,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             requests=args.requests,
             seed=args.seed,
             erase_suspension=not args.no_suspension,
+            engine=args.engine,
         )
         for pec in args.pecs
         for workload in args.workloads
@@ -410,8 +413,9 @@ def _cmd_cache_ls(args: argparse.Namespace) -> int:
         )
     )
     corrupt = sum(1 for entry in entries if entry.corrupt or entry.stale)
+    healthy = len(entries) - corrupt
     total = sum(entry.size for entry in entries)
-    print(f"  {len(entries)} entries, {total:,} bytes", end="")
+    print(f"  {healthy} entries, {total:,} bytes", end="")
     if corrupt:
         print(f" ({corrupt} corrupt/stale — `cache gc` prunes them)")
     else:
@@ -481,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ssd", choices=["default", "small", "bench", "paper"],
                      default="default",
                      help="SSD preset (default: deterministic small SSD)")
+    run.add_argument("--engine", choices=list(ENGINES), default="auto",
+                     help="grid-cell engine: vectorized replay kernel "
+                          "when the scheme provides one (auto), or force "
+                          "one path; results are identical either way")
     run.add_argument("--spec-file", default=None,
                      help="JSON file with one spec or a list of specs")
     run.add_argument("--json", action="store_true",
@@ -503,6 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--no-suspension", action="store_true")
     grid.add_argument("--percentile", type=float, default=99.0,
                       help="read-tail percentile to tabulate (default: 99)")
+    grid.add_argument("--engine", choices=list(ENGINES), default="auto",
+                      help="grid-cell engine (see `run --engine`)")
     _add_execution_args(grid)
     grid.set_defaults(func=_cmd_grid)
 

@@ -36,6 +36,7 @@ from repro.config import GcSpec, SchedulerSpec, SsdSpec
 from repro.errors import ConfigError
 from repro.experiments.registry import SCHEMES, WORKLOADS
 from repro.harness.runner import CellJob
+from repro.kernels import ENGINES
 from repro.nand.chip_types import profile_by_name
 from repro.nand.geometry import NandGeometry
 from repro.rng import derive
@@ -137,6 +138,9 @@ class ExperimentSpec:
     ssd: Optional[SsdSpec] = None
     erase_suspension: bool = True
     scheme_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Grid-cell execution engine; never part of the fingerprint because
+    #: kernel and object replays are report-identical (pinned by tests).
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         params = self.scheme_params
@@ -160,6 +164,11 @@ class ExperimentSpec:
             raise ConfigError("requests must be positive")
         if self.pec < 0:
             raise ConfigError("pec setpoint must be >= 0")
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; choose from "
+                f"{', '.join(ENGINES)}"
+            )
 
     # --- derived ------------------------------------------------------------
 
@@ -204,6 +213,7 @@ class ExperimentSpec:
             erase_suspension=self.erase_suspension,
             seed=self.cell_seed,
             scheme_params=self.scheme_params,
+            engine=self.engine,
         )
 
     @property
@@ -233,6 +243,7 @@ class ExperimentSpec:
             "seed": self.seed,
             "erase_suspension": self.erase_suspension,
             "ssd": None if self.ssd is None else _ssd_to_dict(self.ssd),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -254,7 +265,7 @@ class ExperimentSpec:
             )
         known = {
             "version", "scheme", "scheme_params", "pec", "workload",
-            "requests", "seed", "erase_suspension", "ssd",
+            "requests", "seed", "erase_suspension", "ssd", "engine",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -272,6 +283,7 @@ class ExperimentSpec:
             seed=data.get("seed", _DEFAULT_SEED),
             erase_suspension=data.get("erase_suspension", True),
             ssd=None if ssd is None else _ssd_from_dict(ssd),
+            engine=data.get("engine", "auto"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -384,6 +396,10 @@ class Experiment(metaclass=_ExperimentMeta):
     def suspension(self, enabled: bool = True) -> "Experiment":
         """Enable/disable erase suspension in the scheduler."""
         return self._evolve(erase_suspension=enabled)
+
+    def engine(self, engine: str) -> "Experiment":
+        """Select the cell engine (``auto``/``object``/``kernel``)."""
+        return self._evolve(engine=engine)
 
     def params(self, **scheme_params: Any) -> "Experiment":
         """Merge extra scheme params into the spec."""

@@ -1,8 +1,9 @@
-"""Perf-tracking bench harness: the ``BENCH_PR4.json`` trajectory artifact.
+"""Perf-tracking bench harness: the ``BENCH_PR5.json`` trajectory artifact.
 
 Times the two hot campaign shapes — the five-scheme Figure 13 lifetime
 sweep (object vs kernel engine, equal block count and step) and one
-evaluation-grid cell — as median-of-N wall times, and writes a JSON
+evaluation-grid cell (object event loop vs lean replay kernel,
+bit-identical reports) — as median-of-N wall times, and writes a JSON
 artifact future PRs can diff to catch regressions. Exposed as
 ``python -m repro bench`` and as the standalone
 ``benchmarks/perf_bench.py`` script; CI runs it in ``--smoke`` mode
@@ -12,6 +13,7 @@ artifact future PRs can diff to catch regressions. Exposed as
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform as _platform
 import statistics
@@ -24,8 +26,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 ARTIFACT_VERSION = 1
 
 #: Default artifact path (repo-relative), named after the PR that
-#: introduced the perf trajectory.
-DEFAULT_ARTIFACT = "BENCH_PR4.json"
+#: last moved the perf trajectory.
+DEFAULT_ARTIFACT = "BENCH_PR5.json"
 
 
 @dataclass(frozen=True)
@@ -43,6 +45,7 @@ class BenchConfig:
     grid_pec: int = 2500
     grid_workload: str = "ali.A"
     grid_requests: int = 600
+    grid_repeats: int = 7
     smoke: bool = False
 
     @classmethod
@@ -54,17 +57,28 @@ class BenchConfig:
             max_pec=3000,
             repeats=2,
             grid_requests=120,
+            grid_repeats=2,
             smoke=True,
         )
 
 
 def _time_repeats(fn: Callable[[], object], repeats: int) -> List[float]:
-    """Wall-time ``fn`` ``repeats`` times (perf_counter seconds)."""
+    """Wall-time ``fn`` ``repeats`` times (perf_counter seconds).
+
+    Garbage is collected before and collection disabled during each
+    timed run, so GC pauses land neither inside a measurement nor
+    differently across the engines being compared.
+    """
     times = []
     for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        finally:
+            gc.enable()
     return times
 
 
@@ -138,23 +152,40 @@ def bench_lifetime_sweep(config: BenchConfig) -> Dict[str, object]:
 
 
 def bench_grid_cell(config: BenchConfig) -> Dict[str, object]:
-    """Time one evaluation-grid cell (SSD replay; object engine only)."""
+    """Time one evaluation-grid cell on both replay engines.
+
+    The same (scheme, PEC, workload) cell is replayed by the object
+    event loop and by the lean cell kernel — the two produce
+    bit-identical reports (pinned by tests), so the speedup compares
+    strictly equal work. Runs are interleaved object/kernel so slow
+    drift (thermal, cache, background load) hits both engines alike.
+    """
     from repro.harness.cells import run_workload_cell
 
-    def cell():
+    def cell(engine):
         return run_workload_cell(
             config.grid_scheme,
             config.grid_pec,
             config.grid_workload,
             requests=config.grid_requests,
             seed=config.seed,
+            engine=engine,
         )
 
-    cell()  # warm-up (trace synthesis, registry population)
-    times = _time_repeats(cell, config.repeats)
+    # Warm-up (trace synthesis, registry population, kernel import).
+    cell("object")
+    cell("kernel")
+    times: Dict[str, List[float]] = {"object": [], "kernel": []}
+    for _ in range(config.grid_repeats):
+        for engine in ("object", "kernel"):
+            times[engine] += _time_repeats(lambda: cell(engine), 1)
+    medians = {
+        engine: statistics.median(values) for engine, values in times.items()
+    }
     return {
-        **_summary(times),
-        "engine": "object",
+        "engine_object": _summary(times["object"]),
+        "engine_kernel": _summary(times["kernel"]),
+        "speedup": round(medians["object"] / medians["kernel"], 2),
         "cell": {
             "scheme": config.grid_scheme,
             "pec": config.grid_pec,
@@ -168,7 +199,7 @@ def run_bench(config: BenchConfig) -> Dict[str, object]:
     """Run the full bench and assemble the artifact payload."""
     return {
         "version": ARTIFACT_VERSION,
-        "label": "PR4",
+        "label": "PR5",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": _platform.python_version(),
         "machine": _platform.machine(),
@@ -201,6 +232,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed repetitions per measurement (median wins)")
     parser.add_argument("--grid-requests", type=int, default=None)
+    parser.add_argument("--grid-repeats", type=int, default=None,
+                        help="interleaved object/kernel repetitions per "
+                             "engine for the grid cell (median wins)")
     parser.add_argument("--seed", type=int, default=defaults.seed)
     parser.add_argument("--json", action="store_true",
                         help="print the payload to stdout as well")
@@ -215,7 +249,10 @@ def config_from_args(args: argparse.Namespace) -> BenchConfig:
         ),
         "seed": args.seed,
     }
-    for name in ("blocks", "step", "max_pec", "repeats", "grid_requests"):
+    for name in (
+        "blocks", "step", "max_pec", "repeats", "grid_requests",
+        "grid_repeats",
+    ):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
@@ -242,7 +279,9 @@ def run_from_args(args: argparse.Namespace) -> int:
         print(
             f"grid cell ({config.grid_scheme}@{config.grid_pec} "
             f"{config.grid_workload}, {config.grid_requests} requests): "
-            f"{cell['median_s']:.3f}s"
+            f"object {cell['engine_object']['median_s']:.3f}s, "
+            f"kernel {cell['engine_kernel']['median_s']:.3f}s "
+            f"-> {cell['speedup']:.1f}x"
         )
     print(f"wrote {args.out}")
     return 0

@@ -40,7 +40,9 @@ from repro.ssd.metrics import PerfReport
 
 #: Bump when the cell-execution semantics or file format change; old
 #: entries then miss instead of returning stale results.
-CACHE_VERSION = 1
+#: v2: erase-resume dispatch fix and truncated-replay makespan fix
+#: changed every cell's report.
+CACHE_VERSION = 2
 
 
 def cell_fingerprint(
@@ -153,7 +155,14 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        """Healthy entries only — corrupt/stale/foreign files read as
+        misses at run time, so counting them would make resume-progress
+        estimates (and ``cache ls`` totals) lie after a crash."""
+        return sum(
+            1
+            for entry in self.entries()
+            if not entry.corrupt and not entry.stale
+        )
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).is_file()

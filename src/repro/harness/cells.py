@@ -18,7 +18,9 @@ from __future__ import annotations
 from typing import Any, Mapping, Optional
 
 from repro.config import SsdSpec
+from repro.errors import ConfigError
 from repro.experiments.registry import WORKLOADS
+from repro.kernels import ENGINES
 from repro.rng import derive
 from repro.ssd.builder import build_ssd
 from repro.ssd.metrics import PerfReport
@@ -44,6 +46,7 @@ def run_workload_cell(
     seed: int = 0xAE20,
     mispredict_rate: float = 0.0,
     scheme_params: Optional[Mapping[str, Any]] = None,
+    engine: str = "auto",
 ) -> PerfReport:
     """Run one evaluation cell and return its performance report.
 
@@ -51,7 +54,16 @@ def run_workload_cell(
     ``rber_requirement``) to the scheme factory; the historical
     ``mispredict_rate`` argument is folded into it (an explicit
     ``scheme_params['mispredict_rate']`` wins).
+
+    ``engine`` selects how the timed replay executes: ``object`` walks
+    the per-transaction event loop, ``kernel`` runs the vectorized cell
+    replay (identical report, pinned by tests), and ``auto`` picks the
+    kernel whenever the built SSD supports it.
     """
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r}; choose from {', '.join(ENGINES)}"
+        )
     if isinstance(workload, str):
         workload = WORKLOADS.resolve(workload)
     if spec is None:
@@ -60,13 +72,35 @@ def run_workload_cell(
     params = dict(scheme_params or {})
     params.setdefault("mispredict_rate", mispredict_rate)
     ssd = build_ssd(spec, scheme, pec_setpoint=pec, **params)
-    ssd.precondition(
-        footprint_pages=int(spec.logical_pages * precondition_fraction)
-    )
+    use_kernel = False
+    if engine != "object":
+        from repro.kernels.cell import (
+            kernel_replay_supported,
+            precondition_kernel,
+            run_trace_kernel,
+        )
+
+        use_kernel = kernel_replay_supported(ssd)
+        if not use_kernel and engine == "kernel":
+            raise ConfigError(
+                f"scheme {scheme!r} / SSD configuration has no kernel "
+                "replay; use engine='auto' or 'object'"
+            )
+    footprint_pages = int(spec.logical_pages * precondition_fraction)
+    if use_kernel:
+        # Defer the write-back: the replay kernel continues from the
+        # preconditioned lean state and restores the real FTL once.
+        lean = precondition_kernel(ssd, footprint_pages, write_back=False)
+    else:
+        ssd.precondition(footprint_pages=footprint_pages)
     generator = SyntheticTraceGenerator(
         workload,
         footprint_bytes=int(spec.logical_bytes * footprint_fraction),
         seed=derive(seed, "trace", workload.abbr, pec),
     )
     trace = generator.generate(requests)
+    if use_kernel:
+        return run_trace_kernel(
+            ssd, trace, workload_name=workload.abbr, lean=lean
+        )
     return ssd.run_trace(trace, workload_name=workload.abbr)

@@ -69,6 +69,11 @@ class CellJob:
     #: ``mispredict_rate`` and ``rber_requirement`` travel here when
     #: non-default.
     scheme_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Execution engine (``auto``/``object``/``kernel``). Deliberately
+    #: absent from the fingerprint: the kernel replay is report-identical
+    #: to the object path (pinned by tests), so both engines share one
+    #: cache entry per cell.
+    engine: str = "auto"
 
     @property
     def fingerprint(self) -> str:
@@ -127,6 +132,7 @@ def execute_cell(job: CellJob) -> PerfReport:
         erase_suspension=job.erase_suspension,
         seed=job.seed,
         scheme_params=dict(job.scheme_params),
+        engine=job.engine,
     )
 
 
@@ -165,6 +171,7 @@ class GridRunner:
         spec: Optional[SsdSpec],
         erase_suspension: bool,
         seed: int,
+        engine: str = "auto",
     ) -> List[CellJob]:
         """The campaign's jobs in canonical pec -> workload -> scheme order."""
         jobs: List[CellJob] = []
@@ -204,6 +211,7 @@ class GridRunner:
                             erase_suspension=erase_suspension,
                             seed=cell_seed,
                             profile=profile,
+                            engine=engine,
                         )
                     )
         return jobs
@@ -265,11 +273,12 @@ class GridRunner:
         spec: Optional[SsdSpec] = None,
         erase_suspension: bool = True,
         seed: int = 0xAE20,
+        engine: str = "auto",
     ) -> EvaluationGrid:
         """Run a campaign; cached cells load from disk, the rest execute."""
         jobs = self.plan(
             schemes, pec_points, workloads, requests, spec,
-            erase_suspension, seed,
+            erase_suspension, seed, engine=engine,
         )
         return grid_from_jobs(jobs, self.execute_jobs(jobs))
 
@@ -282,6 +291,7 @@ def run_grid(
     spec: Optional[SsdSpec] = None,
     erase_suspension: bool = True,
     seed: int = 0xAE20,
+    engine: str = "auto",
     executor: Optional[Executor] = None,
     cache_dir: Optional[Union[str, Path]] = None,
 ) -> EvaluationGrid:
@@ -300,4 +310,5 @@ def run_grid(
         spec=spec,
         erase_suspension=erase_suspension,
         seed=seed,
+        engine=engine,
     )

@@ -1,4 +1,4 @@
-"""Vectorized batch kernels for the lifetime/characterization hot path.
+"""Vectorized batch kernels for the simulator's hot paths.
 
 The package holds the structure-of-arrays block state
 (:class:`BlockArrayState`) and one batch erase kernel per built-in
@@ -7,6 +7,14 @@ scheme. Schemes opt in by overriding
 call :func:`kernel_for_scheme` and fall back to the per-block object
 path when it returns ``None`` (third-party schemes keep working
 unchanged).
+
+:mod:`repro.kernels.cell` adds the grid-cell replay kernel behind the
+``engine`` knob of :func:`repro.harness.cells.run_workload_cell`:
+``precondition_kernel`` / ``run_trace_kernel`` replace the
+per-transaction object event loop with a report-identical lean replay,
+gated by ``kernel_replay_supported``. Those three are re-exported here
+lazily (the cell module pulls in the full SSD stack, which importers
+of just ``ENGINES`` should not pay for).
 """
 
 from repro.errors import ConfigError
@@ -67,6 +75,22 @@ def kernel_for_scheme(scheme) -> "BatchEraseKernel | None":
     return factory()
 
 
+#: Lazily re-exported from :mod:`repro.kernels.cell` (PEP 562).
+_CELL_EXPORTS = (
+    "kernel_replay_supported",
+    "precondition_kernel",
+    "run_trace_kernel",
+)
+
+
+def __getattr__(name: str):
+    if name in _CELL_EXPORTS:
+        from repro.kernels import cell
+
+        return getattr(cell, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AeroBatchKernel",
     "BaselineBatchKernel",
@@ -79,5 +103,8 @@ __all__ = [
     "KernelStats",
     "MispeBatchKernel",
     "kernel_for_scheme",
+    "kernel_replay_supported",
+    "precondition_kernel",
     "resolve_kernel",
+    "run_trace_kernel",
 ]

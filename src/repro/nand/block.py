@@ -163,10 +163,9 @@ class Block:
         # Reset the page lists in place, and only up to the write
         # pointer — pages past it were never programmed since the last
         # erase, so they are already FREE/None.
-        states, lpns = self._page_states, self._page_lpns
-        for page in range(self.write_pointer):
-            states[page] = PageState.FREE
-            lpns[page] = None
+        wp = self.write_pointer
+        self._page_states[:wp] = [PageState.FREE] * wp
+        self._page_lpns[:wp] = [None] * wp
         self.write_pointer = 0
         self.valid_count = 0
 

@@ -19,6 +19,7 @@ paper reports from silicon; they are not vendor data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Tuple
 
 from repro.errors import ConfigError
@@ -194,18 +195,21 @@ class ChipProfile:
             raise ConfigError("expect FPASS < gamma < delta")
 
     # --- derived quantities ----------------------------------------------------
+    # The derived scalars below sit on the per-erase hot path (every
+    # pulse/verify step reads them), so they are cached on first use;
+    # the profile is frozen, so the cache can never go stale.
 
-    @property
+    @cached_property
     def pulses_per_loop(self) -> int:
         """Number of 0.5 ms pulse quanta in one default-latency EP step."""
         return int(round(self.t_ep_us / self.pulse_quantum_us))
 
-    @property
+    @cached_property
     def max_pulses(self) -> int:
         """Total pulse budget across ``max_loops`` ISPE loops."""
         return self.pulses_per_loop * self.max_loops
 
-    @property
+    @cached_property
     def f_high(self) -> int:
         """FHIGH threshold in fail bits (no tEP reduction above this)."""
         return self.f_high_deltas * self.delta
@@ -216,10 +220,45 @@ class ChipProfile:
             raise ConfigError("loop index counts from 1")
         return 1.0 + self.wear.voltage_step * (loop - 1)
 
+    @cached_property
+    def _pulse_damage_table(self) -> Tuple[float, ...]:
+        return tuple(
+            self.loop_voltage_factor(loop) ** self.wear.voltage_damage_exponent
+            for loop in range(1, self.max_loops + 1)
+        )
+
+    @cached_property
+    def _pulse_damage_prefix(self) -> Tuple[float, ...]:
+        # _pulse_damage_prefix[n] = sum of pulse_damage over loops 1..n,
+        # accumulated left to right (same floats as a running sum()).
+        prefix = [0]
+        total = 0
+        for damage in self._pulse_damage_table:
+            total = total + damage
+            prefix.append(total)
+        return tuple(prefix)
+
     def pulse_damage(self, loop: int) -> float:
         """Damage units contributed by one pulse quantum in ``loop``."""
+        if 1 <= loop <= self.max_loops:
+            return self._pulse_damage_table[loop - 1]
         factor = self.loop_voltage_factor(loop)
         return factor ** self.wear.voltage_damage_exponent
+
+    def pulse_damage_prefix(self, loops: int) -> float:
+        """Sum of :meth:`pulse_damage` over ladder loops ``1..loops``."""
+        if loops <= self.max_loops:
+            return self._pulse_damage_prefix[loops]
+        total = self._pulse_damage_prefix[self.max_loops]
+        for loop in range(self.max_loops + 1, loops + 1):
+            total = total + self.pulse_damage(loop)
+        return total
+
+    @cached_property
+    def _failbit_range_edges(self) -> Tuple[int, ...]:
+        edges = [self.gamma]
+        edges.extend(self.delta * k for k in range(1, self.f_high_deltas + 1))
+        return tuple(edges)
 
     def failbit_range_edges(self) -> Tuple[int, ...]:
         """Upper edges of the FELP fail-bit ranges (Table 1 columns).
@@ -227,9 +266,7 @@ class ChipProfile:
         Edges are ``(gamma, delta, 2*delta, ..., f_high_deltas*delta)``;
         a fail-bit count maps to the first edge that is >= the count.
         """
-        edges = [self.gamma]
-        edges.extend(self.delta * k for k in range(1, self.f_high_deltas + 1))
-        return tuple(edges)
+        return self._failbit_range_edges
 
     def failbit_range_index(self, fail_bits: int) -> int:
         """Index of the FELP range containing ``fail_bits``.

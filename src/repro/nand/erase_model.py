@@ -151,14 +151,21 @@ class EraseState:
             damage_per_pulse *= (
                 1.0 + _skip_stress(self.profile) * self.skipped_loops
             )
+        # Hot path: the per-pulse state lives in locals for the loop;
+        # the counters/log are batch-updated after (nothing reads them
+        # mid-loop). Progress still advances one pulse at a time so the
+        # float sequence is unchanged.
         added_damage = 0.0
+        progress = self.progress
         for _ in range(count):
-            self.pulses_in_loop += 1
-            self.total_pulses += 1
-            self.pulse_log.append(self.loop)
             added_damage += damage_per_pulse
-            if self.progress < cap:
-                self.progress = min(cap, self.progress + 1.0)
+            if progress < cap:
+                stepped = progress + 1.0
+                progress = stepped if stepped < cap else cap
+        self.progress = progress
+        self.pulses_in_loop += count
+        self.total_pulses += count
+        self.pulse_log.extend([self.loop] * count)
         self.damage += added_damage
         return added_damage
 
@@ -171,7 +178,8 @@ class EraseState:
         Measurement noise is multiplicative (``failbit_noise``).
         """
         profile = self.profile
-        remaining = self.remaining_pulses
+        deficit = math.ceil(self.required - self.progress - 1e-9)
+        remaining = deficit if deficit > 0 else 0
         if remaining <= 0:
             true_count = rng.uniform(0.0, 0.6 * profile.f_pass)
         elif remaining == 1:
@@ -312,9 +320,7 @@ class BlockEraseModel:
         """
         loops = self.nispe(age_kilocycles)
         per_loop = self.profile.pulses_per_loop
-        return per_loop * sum(
-            self.profile.pulse_damage(i) for i in range(1, loops + 1)
-        )
+        return per_loop * self.profile.pulse_damage_prefix(loops)
 
 
 @dataclass

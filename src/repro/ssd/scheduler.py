@@ -82,15 +82,19 @@ class ChipExecutor:
         if self.busy:
             return
         for priority in TxnPriority:
-            queue = self.queues[priority]
-            if queue:
-                self._execute(queue.popleft())
-                return
             if (
                 priority is TxnPriority.ERASE
                 and self._suspended_txn is not None
             ):
+                # The suspended erase is FIFO-older than anything in the
+                # ERASE queue — resume it before starting a new erase,
+                # otherwise later arrivals starve it and two erases
+                # interleave on the chip.
                 self._resume_erase()
+                return
+            queue = self.queues[priority]
+            if queue:
+                self._execute(queue.popleft())
                 return
 
     def _execute(self, txn: PageTransaction) -> None:

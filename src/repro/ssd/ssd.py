@@ -83,6 +83,10 @@ class Ssd:
         requests = trace.requests
         if max_requests is not None:
             requests = requests[:max_requests]
+        # Makespan floor: the replayed slice's horizon, not the full
+        # trace's — a truncated replay must not inherit the arrival time
+        # of requests that were never submitted.
+        horizon_us = requests[-1].arrival_us if requests else 0.0
         for trace_request in requests:
             sim.at(
                 trace_request.arrival_us,
@@ -102,7 +106,7 @@ class Ssd:
             reads=controller.reads,
             writes=controller.writes,
             requests_completed=controller.requests_completed,
-            makespan_us=max(controller.last_completion_us, trace.duration_us),
+            makespan_us=max(controller.last_completion_us, horizon_us),
             erases=sum(e.erases_completed for e in executors.values()),
             erase_busy_us=sum(e.erase_busy_us for e in executors.values()),
             erase_suspensions=sum(

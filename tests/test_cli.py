@@ -154,11 +154,12 @@ def test_compare_engine_and_executor_flags(capsys):
 
 
 def test_bench_smoke_writes_artifact(tmp_path, capsys):
-    artifact = tmp_path / "BENCH_PR4.json"
+    artifact = tmp_path / "BENCH_PR5.json"
     assert main([
         "bench", "--smoke", "--out", str(artifact),
         "--blocks", "8", "--step", "500", "--repeats", "1",
         "--schemes", "baseline,aero", "--grid-requests", "60",
+        "--grid-repeats", "1",
     ]) == 0
     out = capsys.readouterr().out
     assert "lifetime sweep" in out and "grid cell" in out
@@ -167,7 +168,10 @@ def test_bench_smoke_writes_artifact(tmp_path, capsys):
     sweep = payload["lifetime_sweep"]
     assert sweep["speedup"] > 0
     assert set(sweep["per_scheme"]) == {"baseline", "aero"}
-    assert payload["grid_cell"]["median_s"] > 0
+    cell = payload["grid_cell"]
+    assert cell["engine_object"]["median_s"] > 0
+    assert cell["engine_kernel"]["median_s"] > 0
+    assert cell["speedup"] > 0
     assert payload["config"]["smoke"] is True
 
 
