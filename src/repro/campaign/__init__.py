@@ -1,0 +1,95 @@
+"""Campaign service: sharded result store + mixed-pool orchestrator.
+
+This package scales the evaluation harness from "a grid in one
+process" to "a campaign of millions of cells sharded across processes
+and threads with crash-resume". Three layers:
+
+* :mod:`repro.campaign.store` — :class:`ShardedResultStore`, the
+  chunked append-only result store;
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`, the declarative
+  (schemes x PECs x workloads) campaign description, JSON
+  round-trippable and :meth:`GridRunner.plan`-compatible;
+* :mod:`repro.campaign.orchestrator` — :class:`CampaignOrchestrator`,
+  which fans pending cells out over a mixed process+thread executor
+  pool and streams each finished cell into the store the moment it
+  completes.
+
+``python -m repro campaign run|status|compact`` drives all three from
+the shell.
+
+Store layout
+============
+
+One JSON file per cell (:class:`~repro.harness.cache.ResultCache`)
+collapses past a few thousand cells — directory scans, inode pressure,
+one ``os.replace`` per cell. The sharded store instead appends records
+to a bounded number of JSONL segment files, sharded by fingerprint
+prefix::
+
+    <root>/
+        store.json              manifest: {"version", "prefix_len",
+                                           "segment_max_bytes"}
+        2f/                     shard = first prefix_len hex digits
+            seg-000000.jsonl      of the cell fingerprint
+            seg-000001.jsonl
+        88/
+            seg-000000.jsonl
+
+Each line of a segment is one self-contained record::
+
+    {"version": CACHE_VERSION, "key": "<fingerprint>", "ts": <epoch>,
+     "meta": {...}, "report": {...}}
+
+Append-only semantics: a ``put`` appends one line (a single
+``O_APPEND`` write, atomic on POSIX) to the shard's highest-numbered
+segment, rolling to a fresh segment once the active one exceeds
+``segment_max_bytes``. Within a shard, the *last* record for a key
+wins, so overwrites never rewrite history and a torn final line (a
+crash mid-append) is skipped on load without losing earlier records.
+
+Compaction (``gc``/``compact``, surfaced as ``python -m repro campaign
+compact`` and honouring the same knobs as ``cache gc``) rewrites a
+shard's live records — the newest healthy record per surviving key —
+into one fresh segment *numbered after* every existing segment, then
+unlinks the old ones; a crash between the two steps leaves duplicate
+records whose last-wins resolution is unchanged, so compaction is
+crash-safe without a directory-wide lock.
+
+Records carry :data:`~repro.harness.cache.CACHE_VERSION`; entries
+written under an older version read as misses (and are dropped at
+compaction), exactly like the one-file-per-cell cache.
+"""
+
+from repro.campaign.orchestrator import (
+    CampaignOrchestrator,
+    CampaignProgress,
+    CampaignResult,
+    CampaignStats,
+    cell_engine_kind,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CAMPAIGN_SPEC_VERSION,
+    CampaignSpec,
+    load_campaign_file,
+)
+from repro.campaign.store import (
+    CompactionStats,
+    ShardedResultStore,
+    StoreStats,
+)
+
+__all__ = [
+    "CAMPAIGN_SPEC_VERSION",
+    "CampaignOrchestrator",
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignStats",
+    "CompactionStats",
+    "ShardedResultStore",
+    "StoreStats",
+    "cell_engine_kind",
+    "load_campaign_file",
+    "run_campaign",
+]

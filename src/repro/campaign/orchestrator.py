@@ -1,0 +1,351 @@
+"""Campaign orchestrator: mixed process+thread fan-out with resume.
+
+:class:`CampaignOrchestrator` executes a :class:`CampaignSpec` against
+a result store:
+
+1. **Plan** — the spec's cells become ``GridRunner.plan``-identical
+   :class:`CellJob` objects (shared fingerprints, shared store
+   entries).
+2. **Resume** — every cell whose fingerprint the store can retrieve is
+   loaded, not re-executed; a campaign killed at any point restarts
+   from the store alone.
+3. **Route** — pending cells split across a mixed executor pool by
+   engine: kernel-engine cells go to :class:`ThreadExecutor` workers
+   (the replay kernels do their heavy lifting in NumPy, which releases
+   the GIL, and threads skip the process pickle tax), object-engine
+   cells go to :class:`ProcessExecutor` workers (pure-Python event
+   loops hold the GIL, so only processes parallelize them).
+4. **Stream** — both pools drain concurrently; each finished report is
+   appended to the store the moment it arrives, so an interruption
+   loses at most the in-flight cells.
+5. **Report** — a progress callback receives cells done / total,
+   throughput, and a projected finish throughout the run.
+
+Determinism: cells are pure functions of their jobs and the grid is
+assembled in job order, so an orchestrated (parallel, resumed,
+mixed-pool) campaign is bit-identical to a fresh
+:class:`SerialExecutor` run of the same spec — pinned by tests.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ShardedResultStore
+from repro.errors import ConfigError
+from repro.harness.executors import ProcessExecutor, ThreadExecutor
+from repro.harness.grid import EvaluationGrid
+from repro.harness.runner import CellJob, execute_cell, grid_from_jobs
+from repro.harness.store import ResultStore
+from repro.ssd.metrics import PerfReport
+
+
+def cell_engine_kind(job: CellJob) -> str:
+    """Which replay engine the cell will execute on: kernel or object.
+
+    Mirrors the decision inside ``run_workload_cell`` without building
+    an SSD: ``build_ssd`` always constructs one of the two exact FTL
+    types the cell kernel supports, and freshly built drives never
+    carry retired blocks, so every cell that does not force
+    ``engine="object"`` replays on the kernel path.
+    """
+    return "object" if job.engine == "object" else "kernel"
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """One progress snapshot, handed to the ``progress`` callback."""
+
+    total: int
+    executed: int
+    resumed: int
+    elapsed_s: float
+
+    @property
+    def done(self) -> int:
+        return self.executed + self.resumed
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    @property
+    def cells_per_s(self) -> Optional[float]:
+        """Execution throughput (resumed cells load instantly and are
+        excluded — they would inflate the rate the ETA projects with)."""
+        if self.executed == 0 or self.elapsed_s <= 0:
+            return None
+        return self.executed / self.elapsed_s
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Projected seconds to finish, None until a rate exists."""
+        rate = self.cells_per_s
+        if rate is None or not rate:
+            return None
+        return self.remaining / rate
+
+    def format(self) -> str:
+        """One status line: done/total, %, rate, ETA, provenance."""
+        parts = [
+            f"{self.done}/{self.total} cells ({self.fraction:.1%})",
+        ]
+        rate = self.cells_per_s
+        if rate is not None:
+            parts.append(f"{rate:.2f} cells/s")
+        eta = self.eta_s
+        if eta is not None and self.remaining:
+            parts.append(f"ETA {_format_duration(eta)}")
+        parts.append(f"executed {self.executed}, resumed {self.resumed}")
+        return " · ".join(parts)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Where the campaign's cells came from, and how long it took."""
+
+    total: int
+    executed: int
+    resumed: int
+    thread_cells: int
+    process_cells: int
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything one orchestrated campaign produced."""
+
+    spec: CampaignSpec
+    jobs: Tuple[CellJob, ...]
+    reports: Tuple[PerfReport, ...]
+    grid: EvaluationGrid
+    stats: CampaignStats
+
+
+_ProgressFn = Callable[[CampaignProgress], None]
+_CellFn = Callable[[int, CellJob, PerfReport], None]
+
+
+class CampaignOrchestrator:
+    """Runs one campaign spec against a store on a mixed executor pool."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Union[ResultStore, str, Path],
+        process_workers: int = 1,
+        thread_workers: int = 1,
+        progress: Optional[_ProgressFn] = None,
+        progress_interval_s: float = 1.0,
+        on_cell: Optional[_CellFn] = None,
+    ):
+        """``store`` is a :class:`ResultStore` or a path (opened as a
+        :class:`ShardedResultStore`). ``progress`` is called with a
+        :class:`CampaignProgress` at start, at most every
+        ``progress_interval_s`` seconds while cells stream in, and at
+        the end. ``on_cell(index, job, report)`` fires after each
+        *executed* cell is persisted — an exception from it aborts the
+        run (which is exactly how the interrupted-resume tests and the
+        CI kill step simulate a crash; everything already persisted
+        resumes).
+        """
+        if process_workers < 1 or thread_workers < 1:
+            raise ConfigError("campaign worker counts must be >= 1")
+        self.spec = spec
+        self.store: ResultStore = (
+            ShardedResultStore(store)
+            if isinstance(store, (str, Path)) else store
+        )
+        self.process_workers = process_workers
+        self.thread_workers = thread_workers
+        self.progress = progress
+        self.progress_interval_s = progress_interval_s
+        self.on_cell = on_cell
+
+    # --- planning helpers ---------------------------------------------------
+
+    def plan(self) -> List[CellJob]:
+        """The campaign's jobs (``GridRunner.plan``-identical)."""
+        return self.spec.jobs()
+
+    def status(self) -> CampaignProgress:
+        """Resume status of the store, without executing anything."""
+        jobs = self.plan()
+        done = sum(1 for job in jobs if job.fingerprint in self.store)
+        return CampaignProgress(
+            total=len(jobs), executed=0, resumed=done, elapsed_s=0.0
+        )
+
+    # --- execution ----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign; resume, fan out, stream, assemble."""
+        start = time.monotonic()
+        jobs = self.plan()
+        reports: List[Optional[PerfReport]] = [None] * len(jobs)
+
+        # Resume pass: everything the store can retrieve is loaded.
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            cached = self.store.get(job.fingerprint)
+            if cached is not None:
+                reports[index] = cached
+            else:
+                pending.append(index)
+        resumed = len(jobs) - len(pending)
+
+        # Route by engine: kernel cells to threads, object cells to
+        # processes (see cell_engine_kind for why).
+        thread_indices = [
+            i for i in pending if cell_engine_kind(jobs[i]) == "kernel"
+        ]
+        process_indices = [
+            i for i in pending if cell_engine_kind(jobs[i]) == "object"
+        ]
+
+        executed = 0
+        last_emit = [0.0]
+
+        def emit(force: bool = False) -> None:
+            if self.progress is None:
+                return
+            now = time.monotonic()
+            if not force and now - last_emit[0] < self.progress_interval_s:
+                return
+            last_emit[0] = now
+            self.progress(
+                CampaignProgress(
+                    total=len(jobs),
+                    executed=executed,
+                    resumed=resumed,
+                    elapsed_s=now - start,
+                )
+            )
+
+        emit(force=True)
+        results: "queue.Queue[Tuple[str, int, object]]" = queue.Queue()
+        drains = [
+            threading.Thread(
+                target=self._drain,
+                args=(ThreadExecutor(self.thread_workers),
+                      jobs, thread_indices, results),
+                name="campaign-thread-drain",
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._drain,
+                args=(ProcessExecutor(self.process_workers),
+                      jobs, process_indices, results),
+                name="campaign-process-drain",
+                daemon=True,
+            ),
+        ]
+        for drain in drains:
+            drain.start()
+        try:
+            for _ in range(len(pending)):
+                kind, index, payload = results.get()
+                if kind == "error":
+                    raise payload  # a worker died; propagate its reason
+                job = jobs[index]
+                report = payload
+                assert isinstance(report, PerfReport)
+                meta = {
+                    "scheme": job.scheme,
+                    "pec": job.pec,
+                    "workload": job.workload,
+                    "requests": job.requests,
+                    "seed": job.seed,
+                }
+                if job.scheme_params:
+                    meta["scheme_params"] = dict(job.scheme_params)
+                self.store.put(job.fingerprint, report, meta=meta)
+                reports[index] = report
+                executed += 1
+                emit()
+                if self.on_cell is not None:
+                    self.on_cell(index, job, report)
+        finally:
+            # On clean completion the drains are already finished; on
+            # abort they are daemons working toward results nobody will
+            # persist — join briefly, then let process exit reap them.
+            for drain in drains:
+                drain.join(timeout=0.1)
+        emit(force=True)
+
+        final = [report for report in reports]
+        assert all(report is not None for report in final)
+        grid = grid_from_jobs(jobs, final)  # type: ignore[arg-type]
+        return CampaignResult(
+            spec=self.spec,
+            jobs=tuple(jobs),
+            reports=tuple(final),  # type: ignore[arg-type]
+            grid=grid,
+            stats=CampaignStats(
+                total=len(jobs),
+                executed=executed,
+                resumed=resumed,
+                thread_cells=len(thread_indices),
+                process_cells=len(process_indices),
+                wall_s=time.monotonic() - start,
+            ),
+        )
+
+    @staticmethod
+    def _drain(
+        executor,
+        jobs: Sequence[CellJob],
+        indices: Sequence[int],
+        results: "queue.Queue[Tuple[str, int, object]]",
+    ) -> None:
+        """Stream one executor partition's results into the queue."""
+        if not indices:
+            return
+        try:
+            stream = executor.imap(
+                execute_cell, [jobs[i] for i in indices]
+            )
+            for index, report in zip(indices, stream):
+                results.put(("ok", index, report))
+        except BaseException as exc:  # forwarded, re-raised by run()
+            results.put(("error", -1, exc))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Union[ResultStore, str, Path],
+    process_workers: int = 1,
+    thread_workers: int = 1,
+    progress: Optional[_ProgressFn] = None,
+    progress_interval_s: float = 1.0,
+    on_cell: Optional[_CellFn] = None,
+) -> CampaignResult:
+    """One-call façade over :class:`CampaignOrchestrator`."""
+    return CampaignOrchestrator(
+        spec,
+        store,
+        process_workers=process_workers,
+        thread_workers=thread_workers,
+        progress=progress,
+        progress_interval_s=progress_interval_s,
+        on_cell=on_cell,
+    ).run()

@@ -1,0 +1,228 @@
+"""Declarative campaign descriptions: ``CampaignSpec``.
+
+A :class:`CampaignSpec` is the frozen description of one full
+(schemes x PEC setpoints x workloads) evaluation campaign — the
+campaign-shaped sibling of the per-cell
+:class:`~repro.experiments.spec.ExperimentSpec`, reusing the same
+registries, seed derivation, and cache fingerprints:
+
+* ``spec.jobs()`` plans cells through the exact
+  :func:`~repro.harness.runner.plan_jobs` path ``GridRunner.plan``
+  uses, so a campaign and an ad-hoc grid of the same shape share every
+  cache/store entry;
+* ``spec.experiments()`` views the same campaign as a list of
+  :class:`ExperimentSpec` objects (each resolving to the identical
+  :class:`CellJob`), for code that speaks the per-cell API;
+* ``to_dict``/``from_dict`` round-trip through JSON, and
+  :func:`load_campaign_file` reads the ``campaign.json`` files the CLI
+  takes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.config import SsdSpec
+from repro.errors import ConfigError
+from repro.experiments.registry import SCHEMES, WORKLOADS
+from repro.experiments.spec import (
+    ExperimentSpec,
+    _ssd_from_dict,
+    _ssd_to_dict,
+)
+from repro.harness.cells import PAPER_PEC_POINTS, PAPER_SCHEMES
+from repro.harness.runner import CellJob, plan_jobs
+from repro.kernels import ENGINES
+
+#: Bump when the campaign-file layout changes incompatibly.
+CAMPAIGN_SPEC_VERSION = 1
+
+_DEFAULT_SEED = 0xAE20
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Frozen description of one (schemes x PECs x workloads) campaign."""
+
+    schemes: Tuple[str, ...] = PAPER_SCHEMES
+    pec_points: Tuple[int, ...] = PAPER_PEC_POINTS
+    workloads: Tuple[str, ...] = ("ali.A", "hm", "usr")
+    requests: int = 1200
+    seed: int = _DEFAULT_SEED
+    erase_suspension: bool = True
+    engine: str = "auto"
+    ssd: Optional[SsdSpec] = field(default=None)
+
+    def __post_init__(self) -> None:
+        for name in ("schemes", "pec_points", "workloads"):
+            value = getattr(self, name)
+            if isinstance(value, (list, tuple)):
+                object.__setattr__(self, name, tuple(value))
+            else:
+                raise ConfigError(f"{name} must be a list, got {value!r}")
+            if not getattr(self, name):
+                raise ConfigError(f"campaign needs at least one of {name}")
+        if any(not isinstance(s, str) for s in self.schemes):
+            raise ConfigError("schemes must be registry keys (strings)")
+        if any(not isinstance(w, str) for w in self.workloads):
+            raise ConfigError("workloads must be registry refs (strings)")
+        if any(
+            not isinstance(p, int) or isinstance(p, bool) or p < 0
+            for p in self.pec_points
+        ):
+            raise ConfigError("pec_points must be non-negative integers")
+        if self.requests <= 0:
+            raise ConfigError("requests must be positive")
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; choose from "
+                f"{', '.join(ENGINES)}"
+            )
+
+    # --- derived ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """How many cells the campaign comprises."""
+        return len(self.schemes) * len(self.pec_points) * len(self.workloads)
+
+    def validate(self) -> "CampaignSpec":
+        """Check every scheme and workload against the registries."""
+        for scheme in self.schemes:
+            SCHEMES.get(scheme)
+        for workload in self.workloads:
+            WORKLOADS.resolve(workload)
+        return self
+
+    def jobs(self) -> List[CellJob]:
+        """The campaign's cell jobs, ``GridRunner.plan``-identical.
+
+        Same planner, same canonical pec -> workload -> scheme order,
+        same per-(pec, workload) seed derivation — so fingerprints (and
+        therefore store/cache entries) are shared with grid runs.
+        """
+        self.validate()
+        return plan_jobs(
+            schemes=self.schemes,
+            pec_points=self.pec_points,
+            workloads=self.workloads,
+            requests=self.requests,
+            spec=self.ssd,
+            erase_suspension=self.erase_suspension,
+            seed=self.seed,
+            engine=self.engine,
+        )
+
+    def experiments(self) -> List[ExperimentSpec]:
+        """The same campaign as per-cell :class:`ExperimentSpec` objects.
+
+        Each resolves to the identical :class:`CellJob` the planner
+        emits (pinned by tests), keeping the two declarative surfaces
+        interchangeable.
+        """
+        return [
+            ExperimentSpec(
+                scheme=scheme,
+                pec=pec,
+                workload=workload,
+                requests=self.requests,
+                seed=self.seed,
+                erase_suspension=self.erase_suspension,
+                ssd=self.ssd,
+                engine=self.engine,
+            )
+            for pec in self.pec_points
+            for workload in self.workloads
+            for scheme in self.schemes
+        ]
+
+    def fingerprints(self) -> List[str]:
+        """Cache keys of every cell, in job order."""
+        return [job.fingerprint for job in self.jobs()]
+
+    # --- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; ``from_dict`` inverts it losslessly."""
+        return {
+            "version": CAMPAIGN_SPEC_VERSION,
+            "schemes": list(self.schemes),
+            "pec_points": list(self.pec_points),
+            "workloads": list(self.workloads),
+            "requests": self.requests,
+            "seed": self.seed,
+            "erase_suspension": self.erase_suspension,
+            "engine": self.engine,
+            "ssd": None if self.ssd is None else _ssd_to_dict(self.ssd),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output or hand-written JSON."""
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"campaign spec must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        version = data.get("version", CAMPAIGN_SPEC_VERSION)
+        if version != CAMPAIGN_SPEC_VERSION:
+            raise ConfigError(
+                f"unsupported campaign spec version {version!r} "
+                f"(this library reads version {CAMPAIGN_SPEC_VERSION})"
+            )
+        known = {
+            "version", "schemes", "pec_points", "workloads", "requests",
+            "seed", "erase_suspension", "engine", "ssd",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown campaign spec fields {unknown}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        ssd = data.get("ssd")
+        return cls(
+            schemes=tuple(data.get("schemes", PAPER_SCHEMES)),
+            pec_points=tuple(data.get("pec_points", PAPER_PEC_POINTS)),
+            workloads=tuple(data.get("workloads", ("ali.A", "hm", "usr"))),
+            requests=data.get("requests", 1200),
+            seed=data.get("seed", _DEFAULT_SEED),
+            erase_suspension=data.get("erase_suspension", True),
+            engine=data.get("engine", "auto"),
+            ssd=None if ssd is None else _ssd_from_dict(ssd),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Parse one campaign spec from a JSON string."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"invalid campaign JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def load_campaign_file(path: Union[str, Path]) -> CampaignSpec:
+    """Load a campaign spec from a JSON file.
+
+    Accepts the bare spec object or ``{"campaign": {...}}``.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read campaign file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(
+            f"invalid JSON in campaign file {path}: {exc}"
+        ) from exc
+    if isinstance(data, Mapping) and "campaign" in data:
+        data = data["campaign"]
+    return CampaignSpec.from_dict(data)

@@ -1,0 +1,671 @@
+"""Chunked, append-only, fingerprint-sharded result store.
+
+:class:`ShardedResultStore` implements the
+:class:`~repro.harness.store.ResultStore` contract at campaign scale:
+records append to JSONL segment files sharded by fingerprint prefix
+(layout documented in :mod:`repro.campaign`), so a million-cell
+campaign touches a few hundred files instead of a million, and every
+``put`` is one atomic ``O_APPEND`` write instead of a tmp-file dance.
+
+Durability model: the last record per key wins within a shard;
+overwrites append rather than rewrite; a torn final line (crash
+mid-append) is skipped on load; compaction writes the merged segment
+*before* unlinking the old ones, so every intermediate crash state
+still reads correctly. Stale-:data:`~repro.harness.cache.CACHE_VERSION`
+records read as misses, exactly like the one-file-per-cell cache.
+
+Concurrency: every public method is thread-safe behind one store-wide
+lock (the orchestrator persists from its main thread, but `put` from
+ThreadExecutor workers is supported). Multi-*process* writers on one
+store rely on POSIX ``O_APPEND`` atomicity for line integrity; the
+orchestrator keeps writes in the coordinating process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.harness.cache import CACHE_VERSION, CacheEntry, GcResult
+from repro.ssd.metrics import PerfReport
+
+#: Bump when the on-disk layout (manifest, sharding, segment naming)
+#: changes incompatibly — distinct from CACHE_VERSION, which versions
+#: the *records* and flows through unchanged.
+STORE_LAYOUT_VERSION = 1
+
+_MANIFEST = "store.json"
+_DEFAULT_PREFIX_LEN = 2
+_DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+
+class _Record(NamedTuple):
+    """Index entry for the latest record of one key."""
+
+    path: Path
+    offset: int
+    length: int
+    ts: float
+    meta: Dict[str, Any]
+    stale: bool     # readable, but written under another CACHE_VERSION
+    corrupt: bool   # readable JSON, but missing its report
+
+
+@dataclass
+class _Shard:
+    """In-memory index of one shard directory."""
+
+    records: Dict[str, _Record] = field(default_factory=dict)
+    segments: List[Path] = field(default_factory=list)
+    active_size: int = 0
+    corrupt_lines: int = 0   # unparsable or keyless lines
+    superseded: int = 0      # records overwritten by a later append
+    data_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One snapshot of the store's physical and logical shape."""
+
+    shards: int
+    segments: int
+    keys: int            # retrievable entries (healthy, current-version)
+    stale: int           # latest-record-per-key entries at an old version
+    corrupt: int         # latest-record-per-key entries missing a report
+    corrupt_lines: int   # unparsable lines (torn appends, foreign bytes)
+    superseded: int      # records shadowed by a later append
+    data_bytes: int
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """Outcome of one :meth:`ShardedResultStore.compact` pass."""
+
+    shards_rewritten: int
+    segments_before: int
+    segments_after: int
+    records_dropped: int   # superseded + stale + corrupt (+ torn lines)
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return max(0, self.bytes_before - self.bytes_after)
+
+
+class ShardedResultStore:
+    """Fingerprint-sharded, append-only store of finished cell reports.
+
+    Satisfies :class:`~repro.harness.store.ResultStore`, so it drops
+    into :class:`~repro.harness.runner.GridRunner` (``cache=store``)
+    as well as the campaign orchestrator.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        prefix_len: Optional[int] = None,
+        segment_max_bytes: Optional[int] = None,
+    ):
+        """Open (or create) the store rooted at ``root``.
+
+        ``prefix_len`` (shard = first N hex digits of the fingerprint)
+        and ``segment_max_bytes`` (roll the active segment past this
+        size) apply when *creating* a store; an existing store's
+        manifest wins, and an explicit ``prefix_len`` conflicting with
+        it is an error — honouring it would scatter keys across the
+        wrong shards.
+        """
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._shards: Dict[str, _Shard] = {}
+        manifest = self._read_manifest()
+        if manifest is None:
+            self.prefix_len = (
+                _DEFAULT_PREFIX_LEN if prefix_len is None else prefix_len
+            )
+            self.segment_max_bytes = (
+                _DEFAULT_SEGMENT_MAX_BYTES
+                if segment_max_bytes is None else segment_max_bytes
+            )
+            if not 1 <= self.prefix_len <= 8:
+                raise ConfigError(
+                    f"prefix_len must be in 1..8, got {self.prefix_len}"
+                )
+            if self.segment_max_bytes < 1:
+                raise ConfigError("segment_max_bytes must be positive")
+            self._write_manifest()
+        else:
+            if (
+                prefix_len is not None
+                and prefix_len != manifest["prefix_len"]
+            ):
+                raise ConfigError(
+                    f"store {self.root} was created with prefix_len="
+                    f"{manifest['prefix_len']}; cannot reopen with "
+                    f"prefix_len={prefix_len}"
+                )
+            self.prefix_len = int(manifest["prefix_len"])
+            self.segment_max_bytes = int(
+                segment_max_bytes
+                if segment_max_bytes is not None
+                else manifest["segment_max_bytes"]
+            )
+
+    # --- manifest -----------------------------------------------------------
+
+    def _read_manifest(self) -> Optional[Dict[str, Any]]:
+        path = self.root / _MANIFEST
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            return None
+        except ValueError as exc:
+            raise ConfigError(
+                f"corrupt store manifest {path}: {exc}"
+            ) from exc
+        if data.get("layout") != STORE_LAYOUT_VERSION:
+            raise ConfigError(
+                f"store {self.root} uses layout {data.get('layout')!r}; "
+                f"this library reads layout {STORE_LAYOUT_VERSION}"
+            )
+        return data
+
+    def _write_manifest(self) -> None:
+        path = self.root / _MANIFEST
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "layout": STORE_LAYOUT_VERSION,
+                    "prefix_len": self.prefix_len,
+                    "segment_max_bytes": self.segment_max_bytes,
+                }
+            ),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+
+    # --- sharding -----------------------------------------------------------
+
+    def shard_of(self, key: str) -> str:
+        """The shard directory name holding ``key``."""
+        prefix = key[: self.prefix_len].lower()
+        if len(prefix) < self.prefix_len or any(
+            c not in "0123456789abcdef" for c in prefix
+        ):
+            raise ConfigError(
+                f"key {key!r} is not a hex fingerprint; cannot shard it"
+            )
+        return prefix
+
+    def _shard_dir(self, prefix: str) -> Path:
+        return self.root / prefix
+
+    def _segment_number(self, path: Path) -> int:
+        try:
+            return int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return -1
+
+    def _shard_prefixes(self) -> List[str]:
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and len(entry.name) == self.prefix_len
+        )
+
+    # --- index construction -------------------------------------------------
+
+    def _shard(self, prefix: str) -> _Shard:
+        """The shard's in-memory index, loading it on first touch."""
+        shard = self._shards.get(prefix)
+        if shard is not None:
+            return shard
+        shard = _Shard()
+        directory = self._shard_dir(prefix)
+        segments = sorted(
+            (
+                path
+                for path in directory.glob("seg-*.jsonl")
+                if self._segment_number(path) >= 0
+            ),
+            key=self._segment_number,
+        ) if directory.is_dir() else []
+        shard.segments = segments
+        for path in segments:
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            shard.data_bytes += len(blob)
+            offset = 0
+            while offset < len(blob):
+                end = blob.find(b"\n", offset)
+                if end < 0:
+                    # Torn final line — a crash mid-append. Skipped on
+                    # load, reclaimed at compaction; the next append
+                    # starts a fresh segment so it cannot concatenate
+                    # onto the torn bytes.
+                    shard.corrupt_lines += 1
+                    break
+                self._index_line(
+                    shard, path, blob[offset:end], offset, end + 1 - offset
+                )
+                offset = end + 1
+        if segments:
+            shard.active_size = segments[-1].stat().st_size
+        self._shards[prefix] = shard
+        return shard
+
+    def _index_line(
+        self, shard: _Shard, path: Path, line: bytes, offset: int, length: int
+    ) -> None:
+        try:
+            data = json.loads(line)
+        except ValueError:
+            shard.corrupt_lines += 1
+            return
+        if not isinstance(data, dict) or not isinstance(
+            data.get("key"), str
+        ):
+            shard.corrupt_lines += 1
+            return
+        key = data["key"]
+        if key in shard.records:
+            shard.superseded += 1
+        meta = data.get("meta")
+        shard.records[key] = _Record(
+            path=path,
+            offset=offset,
+            length=length,
+            ts=float(data.get("ts") or 0.0),
+            meta=dict(meta) if isinstance(meta, dict) else {},
+            stale=data.get("version") != CACHE_VERSION,
+            corrupt="report" not in data,
+        )
+
+    def _record(self, key: str) -> Optional[_Record]:
+        return self._shard(self.shard_of(key)).records.get(key)
+
+    def _read_record(self, record: _Record) -> Optional[Dict[str, Any]]:
+        try:
+            with record.path.open("rb") as handle:
+                handle.seek(record.offset)
+                return json.loads(handle.read(record.length))
+        except (OSError, ValueError):
+            return None
+
+    # --- ResultStore contract -----------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        """Membership matches retrievability, as the contract demands."""
+        with self._lock:
+            record = self._record(key)
+            return (
+                record is not None
+                and not record.stale
+                and not record.corrupt
+            )
+
+    def get(self, key: str) -> Optional[PerfReport]:
+        """Load the newest record for ``key``; None on any miss."""
+        with self._lock:
+            record = self._record(key)
+            if record is None or record.stale or record.corrupt:
+                return None
+            data = self._read_record(record)
+        if data is None or data.get("version") != CACHE_VERSION:
+            return None
+        try:
+            return PerfReport.from_json_dict(data["report"])
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        key: str,
+        report: PerfReport,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one finished cell; one atomic ``O_APPEND`` write."""
+        now = time.time()
+        line = (
+            json.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "key": key,
+                    "ts": now,
+                    "meta": meta or {},
+                    "report": report.to_json_dict(),
+                },
+                separators=(",", ":"),
+            ).encode("utf-8")
+            + b"\n"
+        )
+        with self._lock:
+            prefix = self.shard_of(key)
+            shard = self._shard(prefix)
+            path = self._active_segment(prefix, shard, len(line))
+            offset = shard.active_size
+            fd = os.open(
+                path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+            shard.active_size = offset + len(line)
+            shard.data_bytes += len(line)
+            if key in shard.records:
+                shard.superseded += 1
+            shard.records[key] = _Record(
+                path=path,
+                offset=offset,
+                length=len(line),
+                ts=now,
+                meta=dict(meta or {}),
+                stale=False,
+                corrupt=False,
+            )
+
+    def _active_segment(
+        self, prefix: str, shard: _Shard, incoming: int
+    ) -> Path:
+        """The segment the next append lands in, rolling when full.
+
+        Also rolls when the current tail is torn (no trailing newline),
+        so a crash-truncated line never gets foreign bytes appended to
+        it.
+        """
+        if shard.segments:
+            tail = shard.segments[-1]
+            torn = False
+            if shard.active_size:
+                try:
+                    with tail.open("rb") as handle:
+                        handle.seek(shard.active_size - 1)
+                        torn = handle.read(1) != b"\n"
+                except OSError:
+                    torn = True
+            if not torn and (
+                shard.active_size == 0
+                or shard.active_size + incoming <= self.segment_max_bytes
+            ):
+                return tail
+            number = self._segment_number(tail) + 1
+        else:
+            self._shard_dir(prefix).mkdir(parents=True, exist_ok=True)
+            number = 0
+        path = self._shard_dir(prefix) / f"seg-{number:06d}.jsonl"
+        shard.segments.append(path)
+        shard.active_size = 0
+        return path
+
+    # --- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Retrievable entries only, like ``ResultCache.__len__``."""
+        with self._lock:
+            return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Every retrievable key (healthy, current-version)."""
+        with self._lock:
+            for prefix in self._shard_prefixes():
+                for key, record in self._shard(prefix).records.items():
+                    if not record.stale and not record.corrupt:
+                        yield key
+
+    def entries(self) -> List[CacheEntry]:
+        """One :class:`CacheEntry` per key (its newest record), oldest
+        first — the same shape ``ResultCache.entries`` returns, so
+        ``cache ls``-style tooling and the gc policy code work on
+        either backend. ``path`` points at the record's segment file.
+        """
+        with self._lock:
+            found = [
+                CacheEntry(
+                    key=key,
+                    path=record.path,
+                    mtime=record.ts,
+                    size=record.length,
+                    meta=record.meta,
+                    corrupt=record.corrupt,
+                    stale=record.stale,
+                )
+                for prefix in self._shard_prefixes()
+                for key, record in self._shard(prefix).records.items()
+            ]
+        found.sort(key=lambda entry: (entry.mtime, entry.key))
+        return found
+
+    def stats(self) -> StoreStats:
+        """Physical/logical snapshot for ``campaign status``."""
+        with self._lock:
+            prefixes = self._shard_prefixes()
+            shards = [self._shard(prefix) for prefix in prefixes]
+            return StoreStats(
+                shards=len(prefixes),
+                segments=sum(len(shard.segments) for shard in shards),
+                keys=sum(
+                    1
+                    for shard in shards
+                    for record in shard.records.values()
+                    if not record.stale and not record.corrupt
+                ),
+                stale=sum(
+                    1
+                    for shard in shards
+                    for record in shard.records.values()
+                    if record.stale
+                ),
+                corrupt=sum(
+                    1
+                    for shard in shards
+                    for record in shard.records.values()
+                    if record.corrupt and not record.stale
+                ),
+                corrupt_lines=sum(
+                    shard.corrupt_lines for shard in shards
+                ),
+                superseded=sum(shard.superseded for shard in shards),
+                data_bytes=sum(shard.data_bytes for shard in shards),
+            )
+
+    # --- garbage collection and compaction ----------------------------------
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        older_than_s: Optional[float] = None,
+        remove_corrupt: bool = True,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> GcResult:
+        """Prune entries with ``ResultCache.gc`` semantics.
+
+        Same policy knobs, same :class:`GcResult` — and because the
+        store is append-only, every non-dry run *rewrites* the shards
+        it touches (dropping superseded records and torn lines along
+        the way), so gc doubles as targeted compaction.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ConfigError("max_entries must be >= 0")
+        if older_than_s is not None and older_than_s < 0:
+            raise ConfigError("older_than_s must be >= 0")
+        now = time.time() if now is None else now
+        with self._lock:
+            doomed: List[CacheEntry] = []
+            survivors: List[CacheEntry] = []
+            for entry in self.entries():
+                if remove_corrupt and (entry.corrupt or entry.stale):
+                    doomed.append(entry)
+                elif (
+                    older_than_s is not None
+                    and entry.age_seconds(now) > older_than_s
+                ):
+                    doomed.append(entry)
+                else:
+                    survivors.append(entry)
+            if max_entries is not None and len(survivors) > max_entries:
+                # Healthy entries rank above corrupt/stale survivors in
+                # the keep-newest-N pass — the same ranking fix the
+                # one-file-per-cell cache applies.
+                ranked = sorted(
+                    survivors,
+                    key=lambda entry: (
+                        not (entry.corrupt or entry.stale),
+                        entry.mtime,
+                        entry.key,
+                    ),
+                )
+                extra = len(survivors) - max_entries
+                doomed.extend(ranked[:extra])
+                survivors = sorted(
+                    ranked[extra:],
+                    key=lambda entry: (entry.mtime, entry.key),
+                )
+            if not dry_run and doomed:
+                doomed_keys = {entry.key for entry in doomed}
+                for prefix in self._shard_prefixes():
+                    shard = self._shard(prefix)
+                    if any(key in doomed_keys for key in shard.records):
+                        self._rewrite(
+                            prefix,
+                            keep={
+                                key
+                                for key in shard.records
+                                if key not in doomed_keys
+                            },
+                        )
+            tmp_removed = self._sweep_tmp(now, dry_run)
+        return GcResult(
+            removed=tuple(doomed),
+            kept=len(survivors),
+            tmp_removed=tmp_removed,
+        )
+
+    def compact(self, dry_run: bool = False) -> CompactionStats:
+        """Merge every shard to one segment of live records.
+
+        Drops superseded records, torn lines, and corrupt/stale
+        entries; keeps the newest healthy record per key. Crash-safe:
+        the merged segment is fully written (tmp + rename) and ordered
+        after the old ones before any old segment is unlinked.
+        """
+        rewritten = 0
+        with self._lock:
+            before = self.stats()
+            if not dry_run:
+                for prefix in self._shard_prefixes():
+                    shard = self._shard(prefix)
+                    needs = (
+                        len(shard.segments) > 1
+                        or shard.superseded
+                        or shard.corrupt_lines
+                        or any(
+                            record.stale or record.corrupt
+                            for record in shard.records.values()
+                        )
+                    )
+                    if needs:
+                        self._rewrite(
+                            prefix,
+                            keep={
+                                key
+                                for key, record in shard.records.items()
+                                if not record.stale and not record.corrupt
+                            },
+                        )
+                        rewritten += 1
+                self._sweep_tmp(time.time(), dry_run=False)
+            after = self.stats() if not dry_run else before
+        dropped = (
+            before.superseded
+            + before.corrupt_lines
+            + before.stale
+            + before.corrupt
+        )
+        return CompactionStats(
+            shards_rewritten=rewritten,
+            segments_before=before.segments,
+            segments_after=after.segments,
+            records_dropped=dropped,
+            bytes_before=before.data_bytes,
+            bytes_after=after.data_bytes,
+        )
+
+    def _rewrite(self, prefix: str, keep: set) -> None:
+        """Rewrite one shard to a single fresh segment of ``keep`` keys.
+
+        The new segment is numbered after every existing one, so its
+        records win last-wins resolution the moment it is renamed into
+        place; old segments are unlinked only afterwards — a crash in
+        between leaves benign duplicates, never data loss.
+        """
+        shard = self._shard(prefix)
+        directory = self._shard_dir(prefix)
+        old_segments = list(shard.segments)
+        number = (
+            self._segment_number(old_segments[-1]) + 1 if old_segments else 0
+        )
+        kept: List[Tuple[str, _Record, bytes]] = []
+        for key in keep:
+            record = shard.records.get(key)
+            if record is None:
+                continue
+            with record.path.open("rb") as handle:
+                handle.seek(record.offset)
+                line = handle.read(record.length)
+            if line.endswith(b"\n"):
+                kept.append((key, record, line))
+        kept.sort(key=lambda item: (item[1].ts, item[0]))
+        fresh = _Shard()
+        if kept:
+            path = directory / f"seg-{number:06d}.jsonl"
+            tmp = path.with_suffix(f".jsonl.tmp.{os.getpid()}")
+            offset = 0
+            with tmp.open("wb") as handle:
+                for key, record, line in kept:
+                    handle.write(line)
+                    fresh.records[key] = record._replace(
+                        path=path, offset=offset
+                    )
+                    offset += len(line)
+            os.replace(tmp, path)
+            fresh.segments = [path]
+            fresh.active_size = offset
+            fresh.data_bytes = offset
+        for old in old_segments:
+            try:
+                old.unlink()
+            except FileNotFoundError:
+                pass
+        self._shards[prefix] = fresh
+
+    def _sweep_tmp(self, now: float, dry_run: bool) -> int:
+        """Sweep compaction tmp files orphaned by a crash (>60 s old)."""
+        swept = 0
+        for path in self.root.glob("*/*.tmp.*"):
+            try:
+                if now - path.stat().st_mtime > 60.0:
+                    if not dry_run:
+                        path.unlink()
+                    swept += 1
+            except OSError:
+                pass
+        return swept
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedResultStore(root={str(self.root)!r}, "
+            f"prefix_len={self.prefix_len})"
+        )

@@ -1,12 +1,15 @@
 """``python -m repro`` — the command-line face of the experiment API.
 
-Four subcommands cover the paper's evaluation surface:
+Five subcommands cover the paper's evaluation surface:
 
-* ``run``     — execute one experiment (flags or ``--spec-file`` JSON);
-* ``grid``    — a (schemes x PECs x workloads) campaign with the
+* ``run``      — execute one experiment (flags or ``--spec-file`` JSON);
+* ``grid``     — a (schemes x PECs x workloads) campaign with the
   normalized read-tail table the figures use;
-* ``compare`` — the Figure 13 lifetime comparison across schemes;
-* ``cache``   — inspect (``ls``) and prune (``gc``) the result cache.
+* ``compare``  — the Figure 13 lifetime comparison across schemes;
+* ``cache``    — inspect (``ls``) and prune (``gc``) the result cache;
+* ``campaign`` — orchestrated large campaigns against the sharded
+  result store (``run`` with live progress/ETA and crash-resume,
+  ``status``, ``compact``).
 
 Everything resolves through the plugin registries, honours
 ``--workers`` (process fan-out) and ``--cache-dir`` (persistent result
@@ -361,6 +364,165 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+# --- campaign ----------------------------------------------------------------
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.campaign import CampaignSpec, load_campaign_file
+
+    if args.spec_file:
+        flag_defaults = {
+            "schemes": None, "pecs": None, "workloads": None,
+            "requests": None, "seed": None, "no_suspension": False,
+            "engine": None,
+        }
+        overridden = [
+            f"--{name.replace('_', '-')}"
+            for name, default in flag_defaults.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            raise ConfigError(
+                "--spec-file fully describes the campaign; drop the "
+                f"conflicting flags: {', '.join(overridden)}"
+            )
+        return load_campaign_file(args.spec_file).validate()
+    return CampaignSpec(
+        schemes=tuple(
+            args.schemes
+            or ["baseline", "iispe", "dpes", "aero_cons", "aero"]
+        ),
+        pec_points=tuple(args.pecs or [500, 2500, 4500]),
+        workloads=tuple(args.workloads or ["ali.A", "hm", "usr"]),
+        requests=args.requests if args.requests is not None else 1200,
+        seed=args.seed if args.seed is not None else 0xAE20,
+        erase_suspension=not args.no_suspension,
+        engine=args.engine or "auto",
+    ).validate()
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignOrchestrator
+
+    spec = _campaign_spec_from_args(args)
+
+    def show(progress) -> None:
+        print(f"[campaign] {progress.format()}", flush=True)
+
+    on_cell = None
+    if args.fail_after is not None:
+        # Crash injection for resume testing (the CI kill+resume smoke
+        # step): abort after N executed cells; everything persisted so
+        # far resumes on the next run.
+        def on_cell(index, job, report, _seen=[0]):  # noqa: B006
+            _seen[0] += 1
+            if _seen[0] >= args.fail_after:
+                raise RuntimeError(
+                    f"injected failure after {args.fail_after} cells"
+                )
+
+    orchestrator = CampaignOrchestrator(
+        spec,
+        args.store,
+        process_workers=args.process_workers,
+        thread_workers=args.thread_workers,
+        progress=None if args.quiet else show,
+        progress_interval_s=args.progress_interval,
+        on_cell=on_cell,
+    )
+    result = orchestrator.run()
+    stats = result.stats
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "spec": spec.to_dict(),
+                    "stats": {
+                        "total": stats.total,
+                        "executed": stats.executed,
+                        "resumed": stats.resumed,
+                        "thread_cells": stats.thread_cells,
+                        "process_cells": stats.process_cells,
+                        "wall_s": stats.wall_s,
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"campaign complete: {stats.total} cells in {stats.wall_s:.1f}s "
+        f"(executed {stats.executed}: {stats.thread_cells} on threads, "
+        f"{stats.process_cells} on processes; resumed {stats.resumed} "
+        f"from {args.store})"
+    )
+    return 0
+
+
+def _open_store(store_dir: str):
+    from repro.campaign import ShardedResultStore
+
+    if not Path(store_dir).is_dir():
+        raise ConfigError(f"no such store directory: {store_dir}")
+    return ShardedResultStore(store_dir)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignOrchestrator
+
+    store = _open_store(args.store)
+    stats = store.stats()
+    if args.spec_file:
+        from repro.campaign import load_campaign_file
+
+        spec = load_campaign_file(args.spec_file).validate()
+        progress = CampaignOrchestrator(spec, store).status()
+        print(
+            f"campaign: {progress.done}/{progress.total} cells done "
+            f"({progress.fraction:.1%}), {progress.remaining} pending"
+        )
+    print(
+        f"store {args.store}: {stats.keys} entries across "
+        f"{stats.shards} shards / {stats.segments} segments, "
+        f"{stats.data_bytes:,} bytes"
+    )
+    dead = stats.stale + stats.corrupt + stats.superseded
+    if dead or stats.corrupt_lines:
+        print(
+            f"  reclaimable: {stats.superseded} superseded, "
+            f"{stats.stale} stale, {stats.corrupt} corrupt, "
+            f"{stats.corrupt_lines} torn lines "
+            "(`campaign compact` prunes them)"
+        )
+    return 0
+
+
+def _cmd_campaign_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if args.max_entries is not None or args.older_than is not None:
+        result = store.gc(
+            max_entries=args.max_entries,
+            older_than_s=args.older_than,
+            remove_corrupt=not args.keep_corrupt,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"store {args.store}: {verb} {result.removed_count} entries "
+            f"({result.removed_bytes:,} bytes), kept {result.kept}"
+        )
+        return 0
+    result = store.compact(dry_run=args.dry_run)
+    verb = "would merge" if args.dry_run else "merged"
+    print(
+        f"store {args.store}: {verb} {result.segments_before} segments "
+        f"into {result.segments_after} across {result.shards_rewritten} "
+        f"rewritten shards; dropped {result.records_dropped} dead "
+        f"records, reclaimed {result.bytes_reclaimed:,} bytes"
+    )
+    return 0
+
+
 # --- cache -------------------------------------------------------------------
 
 
@@ -557,6 +719,85 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench)
     bench.set_defaults(func=run_from_args)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="orchestrated campaigns on the sharded result store",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="run a campaign on the mixed process+thread pool with "
+             "live progress and crash-resume",
+    )
+    campaign_run.add_argument("--store", required=True,
+                              help="sharded result store directory "
+                                   "(created if missing)")
+    campaign_run.add_argument("--spec-file", default=None,
+                              help="JSON campaign spec (bare object or "
+                                   "{\"campaign\": {...}})")
+    campaign_run.add_argument("--schemes", type=_csv, default=None,
+                              help="comma-separated scheme keys")
+    campaign_run.add_argument("--pecs", type=_csv_ints, default=None,
+                              help="comma-separated PEC setpoints")
+    campaign_run.add_argument("--workloads", type=_csv, default=None,
+                              help="comma-separated workload abbreviations")
+    campaign_run.add_argument("--requests", type=int, default=None)
+    campaign_run.add_argument("--seed", type=int, default=None)
+    campaign_run.add_argument("--no-suspension", action="store_true")
+    campaign_run.add_argument("--engine", choices=list(ENGINES),
+                              default=None,
+                              help="grid-cell engine (see `run --engine`); "
+                                   "object-engine cells route to process "
+                                   "workers, kernel cells to threads")
+    campaign_run.add_argument("--process-workers", type=int, default=1,
+                              help="process-pool workers for object-engine "
+                                   "cells (default: 1)")
+    campaign_run.add_argument("--thread-workers", type=int, default=1,
+                              help="thread-pool workers for kernel-engine "
+                                   "cells (default: 1)")
+    campaign_run.add_argument("--progress-interval", type=float,
+                              default=1.0,
+                              help="seconds between progress lines "
+                                   "(default: 1.0)")
+    campaign_run.add_argument("--quiet", action="store_true",
+                              help="suppress progress lines")
+    campaign_run.add_argument("--fail-after", type=int, default=None,
+                              help="abort after N executed cells "
+                                   "(crash-injection for resume testing)")
+    campaign_run.add_argument("--json", action="store_true",
+                              help="emit spec + run stats as JSON")
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="report store contents and campaign completion"
+    )
+    campaign_status.add_argument("--store", required=True)
+    campaign_status.add_argument("--spec-file", default=None,
+                                 help="campaign spec to report done/total "
+                                      "against")
+    campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    campaign_compact = campaign_sub.add_parser(
+        "compact",
+        help="merge segments and drop dead records (gc knobs supported)",
+    )
+    campaign_compact.add_argument("--store", required=True)
+    campaign_compact.add_argument("--max-entries", type=int, default=None,
+                                  help="keep only the newest N healthy "
+                                       "entries")
+    campaign_compact.add_argument("--older-than", type=_parse_age,
+                                  default=None, metavar="AGE",
+                                  help="drop entries older than AGE "
+                                       "(e.g. 12h, 7d)")
+    campaign_compact.add_argument("--keep-corrupt", action="store_true",
+                                  help="do not prune corrupt/stale entries")
+    campaign_compact.add_argument("--dry-run", action="store_true",
+                                  help="report without rewriting")
+    campaign_compact.set_defaults(func=_cmd_campaign_compact)
 
     cache = sub.add_parser("cache", help="inspect or prune the result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -48,6 +48,7 @@ from repro.harness.cells import (
     run_workload_cell,
 )
 from repro.harness.executors import (
+    Executor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -59,13 +60,16 @@ from repro.harness.runner import (
     RunStats,
     execute_cell,
     grid_from_jobs,
+    plan_jobs,
     run_grid,
 )
+from repro.harness.store import ResultStore
 
 __all__ = [
     "CACHE_VERSION",
     "CacheEntry",
     "CellJob",
+    "Executor",
     "GcResult",
     "CellKey",
     "EvaluationGrid",
@@ -75,12 +79,14 @@ __all__ = [
     "PAPER_SCHEMES",
     "ProcessExecutor",
     "ResultCache",
+    "ResultStore",
     "RunStats",
     "SerialExecutor",
     "ThreadExecutor",
     "cell_fingerprint",
     "execute_cell",
     "grid_from_jobs",
+    "plan_jobs",
     "run_grid",
     "run_workload_cell",
 ]

@@ -27,8 +27,10 @@ entries are treated as misses and recomputed, never propagated.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -132,7 +134,8 @@ class GcResult:
 
     removed: Tuple[CacheEntry, ...] = ()
     kept: int = 0
-    #: Orphaned ``<key>.tmp.<pid>`` files swept up (interrupted puts).
+    #: Orphaned ``<key>.tmp.<pid>.<tid>.<n>`` files swept up
+    #: (interrupted puts).
     tmp_removed: int = 0
 
     @property
@@ -142,6 +145,13 @@ class GcResult:
     @property
     def removed_bytes(self) -> int:
         return sum(entry.size for entry in self.removed)
+
+
+#: Process-wide monotonic suffix for tmp files. The pid alone is not
+#: unique once two threads of one process write the same key (the
+#: campaign orchestrator's ThreadExecutor workers do exactly that), so
+#: the tmp name also carries the thread id and a counter tick.
+_TMP_COUNTER = itertools.count()
 
 
 class ResultCache:
@@ -165,18 +175,37 @@ class ResultCache:
         )
 
     def __contains__(self, key: str) -> bool:
-        return self.path(key).is_file()
+        """True only when :meth:`get` would return a report.
+
+        Membership must match retrievability: a truncated file or an
+        entry written under an older :data:`CACHE_VERSION` reads as a
+        miss, so reporting it as present would make callers (resume
+        planners, the campaign orchestrator) skip cells they cannot
+        actually load.
+        """
+        return self._load(key) is not None
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Parse one entry; None unless it is healthy and current."""
+        try:
+            with self.path(key).open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return None
+        if "report" not in data:
+            return None
+        return data
 
     def get(self, key: str) -> Optional[PerfReport]:
         """Load a cached report; None on miss or unreadable entry."""
-        path = self.path(key)
+        data = self._load(key)
+        if data is None:
+            return None
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if data.get("version") != CACHE_VERSION:
-                return None
             return PerfReport.from_json_dict(data["report"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
 
     def put(
@@ -193,7 +222,10 @@ class ResultCache:
             "report": report.to_json_dict(),
         }
         path = self.path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}"
+            f".{next(_TMP_COUNTER)}"
+        )
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(data, handle)
         os.replace(tmp, path)
@@ -276,10 +308,24 @@ class ResultCache:
             else:
                 survivors.append(entry)
         if max_entries is not None and len(survivors) > max_entries:
-            # entries() is oldest-first, so the head is the eviction set.
+            # Keep-newest-N ranks healthy entries above corrupt/stale
+            # ones (which read as misses anyway): the eviction head is
+            # every unusable survivor first, then the oldest healthy
+            # entries — never a healthy entry displaced by an unusable
+            # one that survived only because remove_corrupt=False.
+            ranked = sorted(
+                survivors,
+                key=lambda entry: (
+                    not (entry.corrupt or entry.stale),
+                    entry.mtime,
+                    entry.key,
+                ),
+            )
             extra = len(survivors) - max_entries
-            doomed.extend(survivors[:extra])
-            survivors = survivors[extra:]
+            doomed.extend(ranked[:extra])
+            survivors = sorted(
+                ranked[extra:], key=lambda entry: (entry.mtime, entry.key)
+            )
         if not dry_run:
             for entry in doomed:
                 try:

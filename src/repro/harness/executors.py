@@ -20,9 +20,42 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.errors import ConfigError
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Structural type every campaign executor satisfies.
+
+    Anything with ordered ``map``/``imap`` and a ``workers`` count is
+    an executor — the three built-ins below, and any third-party
+    implementation (an async bridge, a cluster client) type-checks
+    against this protocol without subclassing anything. ``imap`` must
+    yield results in the order of ``items`` and lazily enough that a
+    caller persisting them incrementally loses at most the
+    not-yet-yielded tail on interruption.
+    """
+
+    workers: int
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> List[Any]: ...
+
+    def imap(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[Any]: ...
 
 
 class SerialExecutor:

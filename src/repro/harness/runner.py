@@ -36,13 +36,12 @@ from repro.harness.cells import (
     PAPER_SCHEMES,
     run_workload_cell,
 )
-from repro.harness.executors import ProcessExecutor, SerialExecutor
+from repro.harness.executors import Executor, SerialExecutor
 from repro.harness.grid import EvaluationGrid, GridCell
+from repro.harness.store import ResultStore
 from repro.rng import derive
 from repro.ssd.metrics import PerfReport
 from repro.workloads.profiles import WorkloadProfile
-
-Executor = Union[SerialExecutor, ProcessExecutor]
 
 
 @dataclass(frozen=True)
@@ -136,6 +135,66 @@ def execute_cell(job: CellJob) -> PerfReport:
     )
 
 
+def plan_jobs(
+    schemes: Sequence[str],
+    pec_points: Sequence[int],
+    workloads: Sequence[Union[str, WorkloadProfile]],
+    requests: int,
+    spec: Optional[SsdSpec],
+    erase_suspension: bool,
+    seed: int,
+    engine: str = "auto",
+) -> List[CellJob]:
+    """Plan a campaign's jobs in canonical pec -> workload -> scheme order.
+
+    The single planner behind :meth:`GridRunner.plan` and
+    :meth:`repro.campaign.spec.CampaignSpec.jobs`, so grid runs and
+    orchestrated campaigns derive identical seeds and fingerprints —
+    a cell cached by one is served to the other.
+    """
+    jobs: List[CellJob] = []
+    for pec in pec_points:
+        for workload in workloads:
+            if isinstance(workload, WorkloadProfile):
+                abbr = workload.abbr
+                # A profile identical to the registry entry shares
+                # the stock workload's cache; any tweak keeps the
+                # object (and a distinct fingerprint).
+                try:
+                    profile = (
+                        None
+                        if workload == WORKLOADS.resolve(abbr)
+                        else workload
+                    )
+                except ConfigError:
+                    profile = workload
+            else:
+                abbr, profile = workload, None
+            # One seed per (pec, workload) point, shared by every
+            # scheme so they replay the same trace on the same
+            # device-variation draw.
+            cell_seed = derive(seed, "grid", pec, abbr)
+            cell_spec = (
+                spec if spec is not None
+                else SsdSpec.small_test(seed=cell_seed)
+            )
+            for scheme in schemes:
+                jobs.append(
+                    CellJob(
+                        scheme=scheme,
+                        pec=pec,
+                        workload=abbr,
+                        spec=cell_spec,
+                        requests=requests,
+                        erase_suspension=erase_suspension,
+                        seed=cell_seed,
+                        profile=profile,
+                        engine=engine,
+                    )
+                )
+    return jobs
+
+
 @dataclass
 class RunStats:
     """Where the cells of the last campaign came from."""
@@ -155,9 +214,21 @@ class GridRunner:
         self,
         executor: Optional[Executor] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        cache: Optional[ResultStore] = None,
     ):
+        """``cache`` accepts any :class:`ResultStore` (e.g. a
+        :class:`~repro.campaign.store.ShardedResultStore`);
+        ``cache_dir`` remains the one-JSON-file-per-cell shorthand for
+        ``cache=ResultCache(cache_dir)``. Passing both is ambiguous.
+        """
+        if cache is not None and cache_dir is not None:
+            raise ConfigError("pass either cache or cache_dir, not both")
         self.executor = executor or SerialExecutor()
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.cache: Optional[ResultStore] = (
+            cache if cache is not None
+            else ResultCache(cache_dir) if cache_dir is not None
+            else None
+        )
         self.stats = RunStats()
 
     # --- job planning -------------------------------------------------------
@@ -174,47 +245,10 @@ class GridRunner:
         engine: str = "auto",
     ) -> List[CellJob]:
         """The campaign's jobs in canonical pec -> workload -> scheme order."""
-        jobs: List[CellJob] = []
-        for pec in pec_points:
-            for workload in workloads:
-                if isinstance(workload, WorkloadProfile):
-                    abbr = workload.abbr
-                    # A profile identical to the registry entry shares
-                    # the stock workload's cache; any tweak keeps the
-                    # object (and a distinct fingerprint).
-                    try:
-                        profile = (
-                            None
-                            if workload == WORKLOADS.resolve(abbr)
-                            else workload
-                        )
-                    except ConfigError:
-                        profile = workload
-                else:
-                    abbr, profile = workload, None
-                # One seed per (pec, workload) point, shared by every
-                # scheme so they replay the same trace on the same
-                # device-variation draw.
-                cell_seed = derive(seed, "grid", pec, abbr)
-                cell_spec = (
-                    spec if spec is not None
-                    else SsdSpec.small_test(seed=cell_seed)
-                )
-                for scheme in schemes:
-                    jobs.append(
-                        CellJob(
-                            scheme=scheme,
-                            pec=pec,
-                            workload=abbr,
-                            spec=cell_spec,
-                            requests=requests,
-                            erase_suspension=erase_suspension,
-                            seed=cell_seed,
-                            profile=profile,
-                            engine=engine,
-                        )
-                    )
-        return jobs
+        return plan_jobs(
+            schemes, pec_points, workloads, requests, spec,
+            erase_suspension, seed, engine=engine,
+        )
 
     # --- execution ----------------------------------------------------------
 

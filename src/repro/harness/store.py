@@ -1,0 +1,53 @@
+"""The result-store abstraction shared by every campaign driver.
+
+:class:`ResultStore` is the structural contract between execution
+machinery (:class:`~repro.harness.runner.GridRunner`, the campaign
+orchestrator) and result persistence. Two implementations ship:
+
+* :class:`~repro.harness.cache.ResultCache` — one JSON file per cell,
+  right for interactive runs and grids up to a few thousand cells;
+* :class:`~repro.campaign.store.ShardedResultStore` — chunked
+  append-only JSONL segments sharded by fingerprint prefix, built for
+  million-cell campaigns.
+
+The contract is deliberately small: ``get`` returns a report or
+``None``, ``put`` persists one atomically, and ``in`` answers exactly
+the question resume planners ask — *would* ``get`` *succeed?* An
+implementation where ``__contains__`` is looser than ``get`` (e.g.
+"the file exists" vs "the entry parses at the current cache version")
+breaks crash-resume: the planner skips a cell it cannot actually load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+from repro.ssd.metrics import PerfReport
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """Keyed, atomic persistence of finished cell reports.
+
+    Keys are cell fingerprints
+    (:func:`~repro.harness.cache.cell_fingerprint`). Implementations
+    must keep the membership/retrievability invariant: ``key in store``
+    is true iff ``store.get(key)`` returns a report.
+    """
+
+    def get(self, key: str) -> Optional[PerfReport]:
+        """The stored report for ``key``, or ``None`` on a miss."""
+        ...
+
+    def put(
+        self,
+        key: str,
+        report: PerfReport,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Atomically persist one finished cell under ``key``."""
+        ...
+
+    def __contains__(self, key: str) -> bool:
+        """Whether :meth:`get` would return a report for ``key``."""
+        ...

@@ -264,3 +264,106 @@ def test_python_dash_m_entry_point():
     assert proc.returncode == 0
     for command in ("run", "grid", "compare", "cache"):
         assert command in proc.stdout
+
+
+# --- campaign ----------------------------------------------------------------
+
+CAMPAIGN_ARGS = [
+    "campaign", "run",
+    "--schemes", "baseline,aero", "--pecs", "500",
+    "--workloads", "hm", "--requests", "120", "--seed", "1234",
+]
+
+
+def test_campaign_run_executes_then_resumes(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(CAMPAIGN_ARGS + ["--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "campaign complete: 2 cells" in out
+    assert "executed 2" in out
+    assert "[campaign]" in out  # live progress lines
+
+    assert main(CAMPAIGN_ARGS + ["--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "resumed 2" in out
+
+
+def test_campaign_run_json_stats(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(
+        CAMPAIGN_ARGS + ["--store", store, "--quiet", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["total"] == 2
+    assert payload["stats"]["executed"] == 2
+    assert payload["spec"]["schemes"] == ["baseline", "aero"]
+
+
+def test_campaign_run_from_spec_file(tmp_path, capsys):
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec(
+        schemes=("baseline",), pec_points=(500,), workloads=("hm",),
+        requests=120, seed=1234,
+    )
+    spec_file = tmp_path / "campaign.json"
+    spec_file.write_text(spec.to_json())
+    store = str(tmp_path / "store")
+    assert main(
+        ["campaign", "run", "--store", store, "--spec-file", str(spec_file)]
+    ) == 0
+    assert "1 cells" in capsys.readouterr().out
+
+    # status against the same spec file reports completion
+    assert main(
+        ["campaign", "status", "--store", store,
+         "--spec-file", str(spec_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "1/1 cells done" in out
+    assert "1 entries" in out
+
+
+def test_campaign_spec_file_rejects_conflicting_flags(tmp_path, capsys):
+    spec_file = tmp_path / "campaign.json"
+    spec_file.write_text('{"schemes": ["baseline"]}')
+    code = main(
+        ["campaign", "run", "--store", str(tmp_path / "s"),
+         "--spec-file", str(spec_file), "--requests", "99"]
+    )
+    assert code == 2
+    assert "--requests" in capsys.readouterr().err
+
+
+def test_campaign_fail_after_then_resume(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    with pytest.raises(RuntimeError, match="injected failure"):
+        main(CAMPAIGN_ARGS + ["--store", store, "--fail-after", "1",
+                              "--quiet"])
+    capsys.readouterr()
+    assert main(CAMPAIGN_ARGS + ["--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "resumed 1" in out
+    assert "executed 1" in out
+
+
+def test_campaign_compact_reports(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(CAMPAIGN_ARGS + ["--store", store, "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "compact", "--store", store]) == 0
+    assert "dropped 0 dead records" in capsys.readouterr().out
+    # gc knobs route through the store's gc surface
+    assert main(
+        ["campaign", "compact", "--store", store, "--max-entries", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 entries" in out
+    assert "kept 1" in out
+
+
+def test_campaign_status_requires_existing_store(tmp_path, capsys):
+    assert main(
+        ["campaign", "status", "--store", str(tmp_path / "nope")]
+    ) == 2
+    assert "no such store" in capsys.readouterr().err

@@ -223,3 +223,111 @@ def test_fingerprint_sensitivity():
     ):
         assert cell_fingerprint(**{**base, **change}) != reference
     assert cell_fingerprint(**base, erase_suspension=False) != reference
+
+
+# --- cache correctness regressions ------------------------------------------
+# Membership must match retrievability, concurrent puts must not
+# collide on tmp names, and gc's keep-newest-N budget must never evict
+# a healthy entry while keeping an unusable one.
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_workload_cell("aero", 500, "hm", requests=100, seed=3)
+
+
+def test_contains_is_false_for_truncated_entry(tmp_path, small_report):
+    cache = ResultCache(tmp_path)
+    cache.put("feed01", small_report)
+    cache.path("feed01").write_text("{ truncated", encoding="utf-8")
+    # get() treats the torn file as a miss, so membership must too
+    assert cache.get("feed01") is None
+    assert "feed01" not in cache
+
+
+def test_contains_is_false_for_stale_version_entry(tmp_path, small_report):
+    import json as _json
+
+    from repro.harness import CACHE_VERSION
+
+    cache = ResultCache(tmp_path)
+    cache.put("feed02", small_report)
+    data = _json.loads(cache.path("feed02").read_text())
+    data["version"] = CACHE_VERSION - 1
+    cache.path("feed02").write_text(_json.dumps(data), encoding="utf-8")
+    assert cache.get("feed02") is None
+    assert "feed02" not in cache
+    # a healthy sibling still reads as present
+    cache.put("feed03", small_report)
+    assert "feed03" in cache
+
+
+def test_concurrent_same_key_puts_do_not_collide(tmp_path, small_report):
+    import threading
+
+    cache = ResultCache(tmp_path)
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(20):
+                cache.put("c0ffee", small_report)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert cache.get("c0ffee") == small_report
+    # unique tmp names: nothing orphaned, nothing clobbered mid-replace
+    assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+def test_put_tmp_names_are_unique_per_thread_and_call(tmp_path):
+    from repro.harness.cache import _TMP_COUNTER
+
+    a, b = next(_TMP_COUNTER), next(_TMP_COUNTER)
+    assert a != b  # monotonic tick folded into every tmp name
+
+
+def test_gc_budget_prefers_healthy_over_corrupt(tmp_path, small_report):
+    import os
+    import time as _time
+
+    cache = ResultCache(tmp_path)
+    now = _time.time()
+    for index, key in enumerate(["aaa", "bbb", "ccc"]):
+        cache.put(key, small_report)
+        os.utime(cache.path(key), (now - 100 + index, now - 100 + index))
+    # two *newer* corrupt entries would win the old keep-newest-N pass
+    for index, key in enumerate(["ddd", "eee"]):
+        cache.path(key).write_text("{ torn", encoding="utf-8")
+        os.utime(cache.path(key), (now + index, now + index))
+
+    result = cache.gc(max_entries=3, remove_corrupt=False)
+    # the budget evicts the unusable entries first, keeping all healthy
+    assert {entry.key for entry in result.removed} == {"ddd", "eee"}
+    assert result.kept == 3
+    for key in ("aaa", "bbb", "ccc"):
+        assert key in cache
+
+
+def test_gc_budget_still_trims_oldest_healthy(tmp_path, small_report):
+    import os
+    import time as _time
+
+    cache = ResultCache(tmp_path)
+    now = _time.time()
+    for index, key in enumerate(["aaa", "bbb", "ccc"]):
+        cache.put(key, small_report)
+        os.utime(cache.path(key), (now - 100 + index, now - 100 + index))
+    cache.path("ddd").write_text("{ torn", encoding="utf-8")
+    os.utime(cache.path("ddd"), (now, now))
+
+    result = cache.gc(max_entries=2, remove_corrupt=False)
+    # corrupt first, then the oldest healthy entry
+    assert {entry.key for entry in result.removed} == {"ddd", "aaa"}
+    assert "bbb" in cache and "ccc" in cache
