@@ -44,6 +44,17 @@ from repro.harness.grid import EvaluationGrid
 from repro.harness.runner import CellJob, execute_cell, grid_from_jobs
 from repro.harness.store import ResultStore
 from repro.ssd.metrics import PerfReport
+from repro.telemetry.instruments import campaign_metrics
+
+
+def _timed_execute_cell(job: CellJob) -> Tuple[float, PerfReport]:
+    """``execute_cell`` timed inside the worker — module-level so it
+    pickles into :class:`ProcessExecutor` children; the wall time rides
+    back with the report and is observed in the coordinating process
+    (child registries are invisible to the parent)."""
+    begin = time.perf_counter()
+    report = execute_cell(job)
+    return time.perf_counter() - begin, report
 
 
 def cell_engine_kind(job: CellJob) -> str:
@@ -222,24 +233,60 @@ class CampaignOrchestrator:
             i for i in pending if cell_engine_kind(jobs[i]) == "object"
         ]
 
+        metrics = campaign_metrics()
+        metrics.planned.set(len(jobs))
+        # Pre-create the outcome series at zero so a scrape racing the
+        # first completed cell still sees every family.
+        for outcome in ("executed", "resumed", "superseded"):
+            metrics.cells.labels(outcome=outcome).inc(0)
+        if resumed:
+            metrics.cells.labels(outcome="resumed").inc(resumed)
+        pool_of = {index: "thread" for index in thread_indices}
+        pool_of.update({index: "process" for index in process_indices})
+        pool_pending = {
+            "thread": len(thread_indices),
+            "process": len(process_indices),
+        }
+        pool_workers = {
+            "thread": self.thread_workers,
+            "process": self.process_workers,
+        }
+        for pool, workers in pool_workers.items():
+            metrics.pool_workers.labels(pool=pool).set(workers)
+
+        def update_pool_gauges() -> None:
+            for pool, left in pool_pending.items():
+                metrics.pool_pending.labels(pool=pool).set(left)
+                metrics.pool_inflight.labels(pool=pool).set(
+                    min(pool_workers[pool], left)
+                )
+
+        update_pool_gauges()
         executed = 0
         last_emit = [0.0]
 
         def emit(force: bool = False) -> None:
+            now = time.monotonic()
+            snapshot = CampaignProgress(
+                total=len(jobs),
+                executed=executed,
+                resumed=resumed,
+                elapsed_s=now - start,
+            )
+            # Telemetry gauges track every snapshot, including the
+            # final one — the callback stays throttled below.
+            metrics.progress_fraction.set(snapshot.fraction)
+            eta = snapshot.eta_s
+            if eta is not None:
+                metrics.eta_seconds.set(eta)
+            elif snapshot.remaining == 0:
+                metrics.eta_seconds.set(0.0)
             if self.progress is None:
                 return
-            now = time.monotonic()
             if not force and now - last_emit[0] < self.progress_interval_s:
                 return
             last_emit[0] = now
-            self.progress(
-                CampaignProgress(
-                    total=len(jobs),
-                    executed=executed,
-                    resumed=resumed,
-                    elapsed_s=now - start,
-                )
-            )
+            self.progress(snapshot)
 
         emit(force=True)
         results: "queue.Queue[Tuple[str, int, object]]" = queue.Queue()
@@ -267,7 +314,7 @@ class CampaignOrchestrator:
                 if kind == "error":
                     raise payload  # a worker died; propagate its reason
                 job = jobs[index]
-                report = payload
+                wall_s, report = payload
                 assert isinstance(report, PerfReport)
                 meta = {
                     "scheme": job.scheme,
@@ -278,9 +325,16 @@ class CampaignOrchestrator:
                 }
                 if job.scheme_params:
                     meta["scheme_params"] = dict(job.scheme_params)
+                superseding = job.fingerprint in self.store
                 self.store.put(job.fingerprint, report, meta=meta)
                 reports[index] = report
                 executed += 1
+                metrics.cell_wall.observe(wall_s)
+                metrics.cells.labels(outcome="executed").inc()
+                if superseding:
+                    metrics.cells.labels(outcome="superseded").inc()
+                pool_pending[pool_of[index]] -= 1
+                update_pool_gauges()
                 emit()
                 if self.on_cell is not None:
                     self.on_cell(index, job, report)
@@ -322,7 +376,7 @@ class CampaignOrchestrator:
             return
         try:
             stream = executor.imap(
-                execute_cell, [jobs[i] for i in indices]
+                _timed_execute_cell, [jobs[i] for i in indices]
             )
             for index, report in zip(indices, stream):
                 results.put(("ok", index, report))

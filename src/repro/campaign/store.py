@@ -14,6 +14,20 @@ mid-append) is skipped on load; compaction writes the merged segment
 still reads correctly. Stale-:data:`~repro.harness.cache.CACHE_VERSION`
 records read as misses, exactly like the one-file-per-cell cache.
 
+Integrity: every record written by this library version carries a
+CRC32 (``"crc"``) over a canonical serialization of its key + report.
+Records whose checksum no longer matches — bit rot, a partial
+overwrite that still parses as JSON — read as misses, are counted in
+:class:`StoreStats` and the ``repro_store_bad_entries_total``
+telemetry series, and are dropped at compaction. Checksum-less records
+from older stores stay readable unverified.
+
+Telemetry: puts, get hits/misses, superseded overwrites, unusable
+records, compactions, and live byte counts stream to the process
+metrics registry (:mod:`repro.telemetry.instruments`); all counting
+happens at put/get/compact boundaries, never per line in a loop that
+matters.
+
 Concurrency: every public method is thread-safe behind one store-wide
 lock (the orchestrator persists from its main thread, but `put` from
 ThreadExecutor workers is supported). Multi-*process* writers on one
@@ -27,6 +41,7 @@ import json
 import os
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
@@ -34,6 +49,21 @@ from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 from repro.errors import ConfigError
 from repro.harness.cache import CACHE_VERSION, CacheEntry, GcResult
 from repro.ssd.metrics import PerfReport
+from repro.telemetry.instruments import store_metrics
+
+
+def record_checksum(key: str, report_dict: Dict[str, Any]) -> int:
+    """CRC32 over a canonical serialization of one record's payload.
+
+    Canonical = sorted keys, no whitespace — ``json.dumps`` of a
+    just-parsed record reproduces the bytes hashed at write time (JSON
+    floats round-trip through Python's shortest-repr formatting), so
+    the checksum verifies on load without retaining the original line.
+    """
+    payload = json.dumps(
+        [key, report_dict], sort_keys=True, separators=(",", ":")
+    )
+    return zlib.crc32(payload.encode("utf-8"))
 
 #: Bump when the on-disk layout (manifest, sharding, segment naming)
 #: changes incompatibly — distinct from CACHE_VERSION, which versions
@@ -54,7 +84,7 @@ class _Record(NamedTuple):
     ts: float
     meta: Dict[str, Any]
     stale: bool     # readable, but written under another CACHE_VERSION
-    corrupt: bool   # readable JSON, but missing its report
+    corrupt: bool   # readable JSON, but missing or failing its report
 
 
 @dataclass
@@ -64,8 +94,9 @@ class _Shard:
     records: Dict[str, _Record] = field(default_factory=dict)
     segments: List[Path] = field(default_factory=list)
     active_size: int = 0
-    corrupt_lines: int = 0   # unparsable or keyless lines
-    superseded: int = 0      # records overwritten by a later append
+    corrupt_lines: int = 0    # unparsable or keyless lines
+    superseded: int = 0       # records overwritten by a later append
+    checksum_failed: int = 0  # records whose CRC32 did not verify
     data_bytes: int = 0
 
 
@@ -80,6 +111,7 @@ class StoreStats:
     corrupt: int         # latest-record-per-key entries missing a report
     corrupt_lines: int   # unparsable lines (torn appends, foreign bytes)
     superseded: int      # records shadowed by a later append
+    checksum_failed: int  # records seen with a CRC32 mismatch
     data_bytes: int
 
 
@@ -255,6 +287,7 @@ class ShardedResultStore:
                     # starts a fresh segment so it cannot concatenate
                     # onto the torn bytes.
                     shard.corrupt_lines += 1
+                    store_metrics("sharded").bad_entry("torn").inc()
                     break
                 self._index_line(
                     shard, path, blob[offset:end], offset, end + 1 - offset
@@ -272,24 +305,40 @@ class ShardedResultStore:
             data = json.loads(line)
         except ValueError:
             shard.corrupt_lines += 1
+            store_metrics("sharded").bad_entry("torn").inc()
             return
         if not isinstance(data, dict) or not isinstance(
             data.get("key"), str
         ):
             shard.corrupt_lines += 1
+            store_metrics("sharded").bad_entry("torn").inc()
             return
         key = data["key"]
         if key in shard.records:
             shard.superseded += 1
         meta = data.get("meta")
+        stale = data.get("version") != CACHE_VERSION
+        corrupt = "report" not in data
+        if corrupt and not stale:
+            store_metrics("sharded").bad_entry("corrupt").inc()
+        elif stale:
+            store_metrics("sharded").bad_entry("stale").inc()
+        crc = data.get("crc")
+        if not corrupt and crc is not None:
+            if crc != record_checksum(key, data["report"]):
+                # Bit rot, or a partial overwrite that still parses as
+                # JSON — unusable, and distinct from a missing report.
+                corrupt = True
+                shard.checksum_failed += 1
+                store_metrics("sharded").bad_entry("checksum").inc()
         shard.records[key] = _Record(
             path=path,
             offset=offset,
             length=length,
             ts=float(data.get("ts") or 0.0),
             meta=dict(meta) if isinstance(meta, dict) else {},
-            stale=data.get("version") != CACHE_VERSION,
-            corrupt="report" not in data,
+            stale=stale,
+            corrupt=corrupt,
         )
 
     def _record(self, key: str) -> Optional[_Record]:
@@ -317,17 +366,23 @@ class ShardedResultStore:
 
     def get(self, key: str) -> Optional[PerfReport]:
         """Load the newest record for ``key``; None on any miss."""
+        metrics = store_metrics("sharded")
         with self._lock:
             record = self._record(key)
             if record is None or record.stale or record.corrupt:
+                metrics.get_outcome(hit=False).inc()
                 return None
             data = self._read_record(record)
         if data is None or data.get("version") != CACHE_VERSION:
+            metrics.get_outcome(hit=False).inc()
             return None
         try:
-            return PerfReport.from_json_dict(data["report"])
+            report = PerfReport.from_json_dict(data["report"])
         except (ValueError, KeyError, TypeError):
+            metrics.get_outcome(hit=False).inc()
             return None
+        metrics.get_outcome(hit=True).inc()
+        return report
 
     def put(
         self,
@@ -337,6 +392,7 @@ class ShardedResultStore:
     ) -> None:
         """Append one finished cell; one atomic ``O_APPEND`` write."""
         now = time.time()
+        report_dict = report.to_json_dict()
         line = (
             json.dumps(
                 {
@@ -344,12 +400,14 @@ class ShardedResultStore:
                     "key": key,
                     "ts": now,
                     "meta": meta or {},
-                    "report": report.to_json_dict(),
+                    "report": report_dict,
+                    "crc": record_checksum(key, report_dict),
                 },
                 separators=(",", ":"),
             ).encode("utf-8")
             + b"\n"
         )
+        metrics = store_metrics("sharded")
         with self._lock:
             prefix = self.shard_of(key)
             shard = self._shard(prefix)
@@ -364,8 +422,11 @@ class ShardedResultStore:
                 os.close(fd)
             shard.active_size = offset + len(line)
             shard.data_bytes += len(line)
+            metrics.puts.inc()
+            metrics.bytes_written.inc(len(line))
             if key in shard.records:
                 shard.superseded += 1
+                metrics.superseded.inc()
             shard.records[key] = _Record(
                 path=path,
                 offset=offset,
@@ -452,6 +513,8 @@ class ShardedResultStore:
         with self._lock:
             prefixes = self._shard_prefixes()
             shards = [self._shard(prefix) for prefix in prefixes]
+            data_bytes = sum(shard.data_bytes for shard in shards)
+            store_metrics("sharded").data_bytes.set(data_bytes)
             return StoreStats(
                 shards=len(prefixes),
                 segments=sum(len(shard.segments) for shard in shards),
@@ -477,7 +540,10 @@ class ShardedResultStore:
                     shard.corrupt_lines for shard in shards
                 ),
                 superseded=sum(shard.superseded for shard in shards),
-                data_bytes=sum(shard.data_bytes for shard in shards),
+                checksum_failed=sum(
+                    shard.checksum_failed for shard in shards
+                ),
+                data_bytes=data_bytes,
             )
 
     # --- garbage collection and compaction ----------------------------------
@@ -547,6 +613,8 @@ class ShardedResultStore:
                             },
                         )
             tmp_removed = self._sweep_tmp(now, dry_run)
+            if not dry_run and doomed:
+                store_metrics("sharded").gc_removed.inc(len(doomed))
         return GcResult(
             removed=tuple(doomed),
             kept=len(survivors),
@@ -594,6 +662,12 @@ class ShardedResultStore:
             + before.stale
             + before.corrupt
         )
+        if not dry_run:
+            metrics = store_metrics("sharded")
+            metrics.compactions.inc()
+            metrics.reclaimed_bytes.inc(
+                max(0, before.data_bytes - after.data_bytes)
+            )
         return CompactionStats(
             shards_rewritten=rewritten,
             segments_before=before.segments,

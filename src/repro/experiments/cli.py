@@ -9,12 +9,15 @@ Five subcommands cover the paper's evaluation surface:
 * ``cache``    — inspect (``ls``) and prune (``gc``) the result cache;
 * ``campaign`` — orchestrated large campaigns against the sharded
   result store (``run`` with live progress/ETA and crash-resume,
-  ``status``, ``compact``).
+  ``status``, ``compact``);
+* ``metrics``  — dump/validate the telemetry registry (``dump`` reads
+  the in-process registry, a ``--metrics-port`` endpoint via
+  ``--url``, or a ``--metrics-json`` snapshot file).
 
 Everything resolves through the plugin registries, honours
-``--workers`` (process fan-out) and ``--cache-dir`` (persistent result
-cache, shared with the Python API), and exits 2 on configuration
-errors with the registry's rich unknown-key messages.
+``--workers`` (process fan-out) and ``--cache-dir`` / ``--store``
+(persistent result backends, shared with the Python API), and exits 2
+on configuration errors with the registry's rich unknown-key messages.
 """
 
 from __future__ import annotations
@@ -118,6 +121,28 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="persist finished cells here and reuse them on re-run",
     )
+    parser.add_argument(
+        "--store", default=None,
+        help="sharded campaign store directory to persist/reuse cells "
+             "instead of --cache-dir (interoperates with `campaign "
+             "run --store`)",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace):
+    """A pre-configured GridRunner when ``--store`` selects the
+    sharded backend; None leaves run_experiments on --cache-dir."""
+    if args.store is None:
+        return None
+    if args.cache_dir is not None:
+        raise ConfigError("pass either --store or --cache-dir, not both")
+    from repro.campaign import ShardedResultStore
+    from repro.harness.runner import GridRunner
+
+    return GridRunner(
+        executor=_make_executor(args.workers, args.executor),
+        cache=ShardedResultStore(args.store),
+    )
 
 
 def _spec_from_flags(args: argparse.Namespace) -> ExperimentSpec:
@@ -183,6 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         specs,
         executor=_make_executor(args.workers, args.executor),
         cache_dir=args.cache_dir,
+        runner=_runner_from_args(args),
     )
     if args.json:
         payload = [
@@ -254,6 +280,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         specs,
         executor=_make_executor(args.workers, args.executor),
         cache_dir=args.cache_dir,
+        runner=_runner_from_args(args),
     )
     grid = result.grid
     baseline = args.schemes[0]
@@ -430,7 +457,30 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         progress_interval_s=args.progress_interval,
         on_cell=on_cell,
     )
-    result = orchestrator.run()
+    server = None
+    if args.metrics_port is not None:
+        from repro.telemetry import MetricsServer
+
+        server = MetricsServer(port=args.metrics_port).start()
+        print(f"[metrics] serving on {server.url}", flush=True)
+    try:
+        result = orchestrator.run()
+    finally:
+        # The snapshot lands even when the run aborts (e.g. the
+        # --fail-after crash injection) — that is the state a
+        # post-mortem wants; the linger window keeps the endpoint
+        # scrapable after the last cell for the CI smoke step.
+        if args.metrics_json:
+            from repro.telemetry import get_default_registry
+
+            Path(args.metrics_json).write_text(
+                json.dumps(get_default_registry().snapshot(), indent=2),
+                encoding="utf-8",
+            )
+        if server is not None:
+            if args.metrics_linger > 0:
+                time.sleep(args.metrics_linger)
+            server.close()
     stats = result.stats
     if args.json:
         print(
@@ -520,6 +570,75 @@ def _cmd_campaign_compact(args: argparse.Namespace) -> int:
         f"rewritten shards; dropped {result.records_dropped} dead "
         f"records, reclaimed {result.bytes_reclaimed:,} bytes"
     )
+    return 0
+
+
+# --- metrics -----------------------------------------------------------------
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Dump (and structurally validate) one telemetry exposition.
+
+    Sources, mutually exclusive: ``--url`` scrapes a live
+    ``--metrics-port`` endpoint; ``--from-json`` renders a
+    ``--metrics-json`` snapshot file; neither reads the in-process
+    default registry. Whatever the source, the text format is run
+    through the scrape-side parser, so a malformed exposition (or a
+    ``--require``-d family that is absent) exits 2 — the CI smoke
+    step's assertion.
+    """
+    from repro.telemetry import (
+        get_default_registry,
+        parse_text_format,
+        render_text,
+    )
+
+    if args.url and args.from_json:
+        raise ConfigError("pass either --url or --from-json, not both")
+    snapshot = None
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                args.url, timeout=args.timeout
+            ) as response:
+                text = response.read().decode("utf-8")
+        except (OSError, urllib.error.URLError) as exc:
+            raise ConfigError(
+                f"cannot scrape {args.url}: {exc}"
+            ) from exc
+    else:
+        if args.from_json:
+            try:
+                snapshot = json.loads(
+                    Path(args.from_json).read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError) as exc:
+                raise ConfigError(
+                    f"cannot read snapshot {args.from_json}: {exc}"
+                ) from exc
+        else:
+            snapshot = get_default_registry().snapshot()
+        text = render_text(snapshot)
+    families = parse_text_format(text)
+    missing = [
+        name for name in (args.require or []) if name not in families
+    ]
+    if missing:
+        raise ConfigError(
+            f"required metric families missing: {', '.join(missing)}"
+        )
+    if args.format == "json":
+        if snapshot is None:
+            raise ConfigError(
+                "--format json needs a snapshot source; scrape "
+                "<url>/metrics.json directly or use --from-json"
+            )
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(text, end="")
     return 0
 
 
@@ -770,6 +889,20 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(crash-injection for resume testing)")
     campaign_run.add_argument("--json", action="store_true",
                               help="emit spec + run stats as JSON")
+    campaign_run.add_argument("--metrics-port", type=int, default=None,
+                              metavar="PORT",
+                              help="serve /metrics (Prometheus text) and "
+                                   "/metrics.json on this port for the "
+                                   "duration of the run; 0 = ephemeral")
+    campaign_run.add_argument("--metrics-json", default=None,
+                              metavar="PATH",
+                              help="write a JSON metrics snapshot here "
+                                   "when the run ends (even on a crash)")
+    campaign_run.add_argument("--metrics-linger", type=float, default=0.0,
+                              metavar="SECONDS",
+                              help="keep the --metrics-port endpoint up "
+                                   "this long after the run (scrape "
+                                   "window for CI)")
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
     campaign_status = campaign_sub.add_parser(
@@ -798,6 +931,34 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_compact.add_argument("--dry-run", action="store_true",
                                   help="report without rewriting")
     campaign_compact.set_defaults(func=_cmd_campaign_compact)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump and validate telemetry expositions"
+    )
+    metrics_sub = metrics.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    metrics_dump = metrics_sub.add_parser(
+        "dump",
+        help="print one exposition (validated) from the in-process "
+             "registry, a live /metrics endpoint, or a snapshot file",
+    )
+    metrics_dump.add_argument("--url", default=None,
+                              help="scrape this /metrics endpoint "
+                                   "(from `campaign run --metrics-port`)")
+    metrics_dump.add_argument("--from-json", default=None, metavar="PATH",
+                              help="render a --metrics-json snapshot file")
+    metrics_dump.add_argument("--format", choices=["text", "json"],
+                              default="text",
+                              help="output format (default: text)")
+    metrics_dump.add_argument("--require", action="append", default=None,
+                              metavar="NAME",
+                              help="fail unless this metric family is "
+                                   "present (repeatable)")
+    metrics_dump.add_argument("--timeout", type=float, default=5.0,
+                              help="scrape timeout in seconds "
+                                   "(default: 5)")
+    metrics_dump.set_defaults(func=_cmd_metrics_dump)
 
     cache = sub.add_parser("cache", help="inspect or prune the result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -39,3 +39,12 @@ class FtlStats:
         self.erase_latency_total_us += latency_us
         self.erase_pulses_total += pulses
         self.per_scheme_erases[scheme] = self.per_scheme_erases.get(scheme, 0) + 1
+        # Telemetry rides the same boundary: erases arrive here from
+        # both engines (the kernel path delegates real erases to the
+        # FTL), a few hundred per cell at most.
+        from repro.telemetry.instruments import ftl_erase_metrics
+
+        metrics = ftl_erase_metrics()
+        metrics.erases.inc()
+        metrics.pulses.inc(pulses)
+        metrics.latency.observe(latency_us / 1e6)

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.config import SsdSpec
 from repro.errors import ConfigError
 from repro.ssd.metrics import PerfReport
+from repro.telemetry.instruments import store_metrics
 
 #: Bump when the cell-execution semantics or file format change; old
 #: entries then miss instead of returning stale results.
@@ -187,26 +188,50 @@ class ResultCache:
 
     def _load(self, key: str) -> Optional[Dict[str, Any]]:
         """Parse one entry; None unless it is healthy and current."""
+        return self._load_classified(key)[0]
+
+    def _load_classified(
+        self, key: str
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """(entry, miss reason) — reason None on a hit, ``"absent"``
+        on a plain miss, else the unusable-entry class."""
         try:
             with self.path(key).open("r", encoding="utf-8") as handle:
                 data = json.load(handle)
+        except FileNotFoundError:
+            return None, "absent"
         except (OSError, ValueError):
-            return None
-        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
-            return None
+            return None, "torn"
+        if not isinstance(data, dict):
+            return None, "torn"
+        if data.get("version") != CACHE_VERSION:
+            return None, "stale"
         if "report" not in data:
-            return None
-        return data
+            return None, "corrupt"
+        return data, None
 
     def get(self, key: str) -> Optional[PerfReport]:
-        """Load a cached report; None on miss or unreadable entry."""
-        data = self._load(key)
+        """Load a cached report; None on miss or unreadable entry.
+
+        Hits, misses, and unusable entries count toward the
+        ``backend="cache"`` telemetry series here — and only here, so
+        ``in``-style membership probes never skew the hit rate.
+        """
+        metrics = store_metrics("cache")
+        data, reason = self._load_classified(key)
         if data is None:
+            metrics.get_outcome(hit=False).inc()
+            if reason != "absent":
+                metrics.bad_entry(reason).inc()
             return None
         try:
-            return PerfReport.from_json_dict(data["report"])
+            report = PerfReport.from_json_dict(data["report"])
         except (ValueError, KeyError, TypeError):
+            metrics.get_outcome(hit=False).inc()
+            metrics.bad_entry("corrupt").inc()
             return None
+        metrics.get_outcome(hit=True).inc()
+        return report
 
     def put(
         self,
@@ -226,9 +251,13 @@ class ResultCache:
             f".tmp.{os.getpid()}.{threading.get_ident()}"
             f".{next(_TMP_COUNTER)}"
         )
+        text = json.dumps(data)
         with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(data, handle)
+            handle.write(text)
         os.replace(tmp, path)
+        metrics = store_metrics("cache")
+        metrics.puts.inc()
+        metrics.bytes_written.inc(len(text))
 
     # --- inspection and garbage collection ---------------------------------
 
@@ -332,6 +361,8 @@ class ResultCache:
                     entry.path.unlink()
                 except FileNotFoundError:
                     pass
+            if doomed:
+                store_metrics("cache").gc_removed.inc(len(doomed))
         # Sweep tmp files orphaned by interrupted put() calls. A live
         # writer's tmp exists only for the instant between write and
         # os.replace, so anything older than a minute is litter.

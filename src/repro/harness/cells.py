@@ -24,6 +24,7 @@ from repro.kernels import ENGINES
 from repro.rng import derive
 from repro.ssd.builder import build_ssd
 from repro.ssd.metrics import PerfReport
+from repro.telemetry.instruments import kernel_metrics
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.synthetic import SyntheticTraceGenerator
 
@@ -99,6 +100,9 @@ def run_workload_cell(
         seed=derive(seed, "trace", workload.abbr, pec),
     )
     trace = generator.generate(requests)
+    kernel_metrics().engine_cells.labels(
+        site="cell", engine="kernel" if use_kernel else "object"
+    ).inc()
     if use_kernel:
         return run_trace_kernel(
             ssd, trace, workload_name=workload.abbr, lean=lean

@@ -57,6 +57,7 @@ from repro.ftl.ftl import PageLevelFtl
 from repro.nand.block import PageState
 from repro.rng import derive_rng
 from repro.ssd.metrics import LatencyRecorder, PerfReport
+from repro.telemetry.instruments import observe_replay
 from repro.units import SECTOR_BYTES
 
 # Heap event kinds. Never compared (the seq field is unique).
@@ -982,4 +983,5 @@ def run_trace_kernel(
     )
     report.extra["waf"] = stats.write_amplification
     report.extra["mean_erase_latency_us"] = stats.mean_erase_latency_us
+    observe_replay(report, stats)
     return report

@@ -29,6 +29,7 @@ from repro.nand.rber import RberModel
 from repro.experiments.registry import SCHEMES
 from repro.kernels import BlockArrayState, resolve_kernel
 from repro.rng import derive, derive_rng
+from repro.telemetry.instruments import kernel_metrics
 
 
 @dataclass
@@ -108,6 +109,10 @@ class LifetimeSimulator:
 
     def run(self, max_pec: int = 12000, record_every: int = 250) -> LifetimeCurve:
         """Cycle until the average MRBER crosses the requirement."""
+        kernel_metrics().engine_cells.labels(
+            site="lifetime",
+            engine="kernel" if self.kernel is not None else "object",
+        ).inc()
         if self.kernel is not None:
             return self._run_kernel(max_pec, record_every)
         curve = LifetimeCurve(
@@ -143,9 +148,11 @@ class LifetimeSimulator:
         state = BlockArrayState.from_blocks(self.blocks)
         kernel_rng = derive_rng(self.seed, "lifetime", self.scheme_key, "kernel")
         extra_rber = np.zeros(state.count)
+        batch_blocks = kernel_metrics().batch_blocks
         pec = 0
         self._record_kernel_point(curve, pec, state, extra_rber)
         while pec < max_pec:
+            batch_blocks.observe(state.count)
             result = self.kernel.erase_batch(state, kernel_rng, cycles=self.step)
             extra_rber = result.rber_offset
             pec += self.step

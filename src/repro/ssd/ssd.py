@@ -14,6 +14,7 @@ from repro.ssd.channel import ChannelBus
 from repro.ssd.controller import SsdController
 from repro.ssd.metrics import PerfReport
 from repro.ssd.scheduler import ChipExecutor
+from repro.telemetry.instruments import observe_replay
 from repro.workloads.trace import Trace
 
 
@@ -119,4 +120,5 @@ class Ssd:
         report.extra["mean_erase_latency_us"] = (
             self.ftl.stats.mean_erase_latency_us
         )
+        observe_replay(report, self.ftl.stats)
         return report

@@ -1,0 +1,286 @@
+"""Prometheus text-format v0.0.4 and JSON snapshot exposition.
+
+The text writer consumes the *snapshot* structure produced by
+:meth:`repro.telemetry.registry.MetricsRegistry.snapshot` (and also
+accepts a registry directly, snapshotting it first). Because the JSON
+exposition *is* that snapshot, serialized, the two formats describe
+one moment identically by construction — ``render_text(snapshot)``
+equals ``render_text(registry)`` taken at the same instant, which the
+test suite pins.
+
+:func:`parse_text_format` is the minimal scrape-side parser the CI
+metrics smoke step and ``python -m repro metrics dump --url`` use: it
+rebuilds families from ``# TYPE`` lines and samples, and enforces the
+format's structural invariants (parsable samples, known family types,
+histogram bucket cumulativity, ``+Inf`` == ``_count``, ``_sum``
+present), raising :class:`~repro.errors.ConfigError` on violations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import MetricsRegistry
+
+#: The Content-Type a Prometheus scraper expects from ``/metrics``.
+TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_text(
+    source: Union[MetricsRegistry, Mapping[str, Any]],
+) -> str:
+    """Render a registry or snapshot dict as Prometheus text format."""
+    snapshot = (
+        source.snapshot()
+        if isinstance(source, MetricsRegistry) else source
+    )
+    lines: List[str] = []
+    for family in snapshot.get("metrics", []):
+        name = family["name"]
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = dict(sample.get("labels") or {})
+            if family["type"] == "histogram":
+                for le, count in sample["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{name}_bucket{_label_text(bucket_labels)} "
+                        f"{_format_value(count)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_text(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_text(labels)} "
+                    f"{_format_value(sample['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_text(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --- minimal scrape-side parser ----------------------------------------------
+
+
+@dataclass
+class ParsedFamily:
+    """One family rebuilt from scraped text."""
+
+    name: str
+    kind: str
+    help: str = ""
+    #: ``(sample_name, sorted label items)`` -> value
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+    def value(
+        self, labels: Mapping[str, str] = (), sample_name: str = ""
+    ) -> float:
+        key = (sample_name or self.name, tuple(sorted(dict(labels).items())))
+        if key not in self.samples:
+            raise ConfigError(
+                f"no sample {key[0]}{dict(labels)!r} in family {self.name}"
+            )
+        return self.samples[key]
+
+
+def _parse_labels(text: str, line: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        eq = text.index("=", index)
+        name = text[index:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ConfigError(f"unquoted label value in line {line!r}")
+        value_chars: List[str] = []
+        index = eq + 2
+        while True:
+            char = text[index]
+            if char == "\\":
+                escape = text[index + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escape, escape)
+                )
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            else:
+                value_chars.append(char)
+                index += 1
+        labels[name] = "".join(value_chars)
+    return labels
+
+
+def _parse_sample_value(text: str, line: str) -> float:
+    text = text.strip()
+    specials = {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}
+    if text in specials:
+        return specials[text]
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigError(f"bad sample value in line {line!r}") from None
+
+
+def _family_of(sample_name: str, families: Dict[str, ParsedFamily]):
+    family = families.get(sample_name)
+    if family is not None:
+        return family
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            family = families.get(sample_name[: -len(suffix)])
+            if family is not None and family.kind == "histogram":
+                return family
+    return None
+
+
+def parse_text_format(text: str) -> Dict[str, ParsedFamily]:
+    """Parse (and validate) Prometheus text exposition into families."""
+    families: Dict[str, ParsedFamily] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # a plain comment
+            name = parts[2]
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram"):
+                    raise ConfigError(
+                        f"unknown metric type in line {line!r}"
+                    )
+                family = families.get(name)
+                if family is None:
+                    families[name] = ParsedFamily(name=name, kind=kind)
+                elif family.kind == "untyped" and not family.samples:
+                    family.kind = kind  # HELP preceded TYPE
+                else:
+                    raise ConfigError(f"duplicate TYPE for {name}")
+            else:
+                help_text = parts[3] if len(parts) > 3 else ""
+                family = families.get(name)
+                if family is None:
+                    families[name] = ParsedFamily(
+                        name=name, kind="untyped", help=help_text
+                    )
+                else:
+                    family.help = help_text
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ConfigError(f"unbalanced labels in line {line!r}")
+            sample_name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close], line)
+            value = _parse_sample_value(line[close + 1 :], line)
+        else:
+            fields = line.split()
+            if len(fields) < 2:
+                raise ConfigError(f"unparsable sample line {line!r}")
+            sample_name, labels = fields[0], {}
+            value = _parse_sample_value(fields[1], line)
+        family = _family_of(sample_name, families)
+        if family is None:
+            raise ConfigError(
+                f"sample {sample_name!r} has no preceding # TYPE line"
+            )
+        key = (sample_name, tuple(sorted(labels.items())))
+        if key in family.samples:
+            raise ConfigError(f"duplicate sample {sample_name}{labels!r}")
+        family.samples[key] = value
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, ParsedFamily]) -> None:
+    for family in families.values():
+        if family.kind != "histogram":
+            continue
+        # Group bucket samples by their non-``le`` labels.
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]]
+        series = {}
+        for (sample_name, labels), value in family.samples.items():
+            if sample_name != f"{family.name}_bucket":
+                continue
+            label_map = dict(labels)
+            le = label_map.pop("le", None)
+            if le is None:
+                raise ConfigError(
+                    f"{family.name}_bucket sample without le label"
+                )
+            bound = (
+                math.inf if le == "+Inf" else float(le)
+            )
+            series.setdefault(
+                tuple(sorted(label_map.items())), []
+            ).append((bound, value))
+        for labels, buckets in series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            counts = [count for _, count in buckets]
+            if any(a > b for a, b in zip(counts, counts[1:])):
+                raise ConfigError(
+                    f"{family.name} buckets not cumulative for "
+                    f"{dict(labels)!r}"
+                )
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ConfigError(
+                    f"{family.name} is missing its +Inf bucket for "
+                    f"{dict(labels)!r}"
+                )
+            for suffix in ("_sum", "_count"):
+                if (family.name + suffix, labels) not in family.samples:
+                    raise ConfigError(
+                        f"{family.name} is missing {family.name}{suffix} "
+                        f"for {dict(labels)!r}"
+                    )
+            count = family.samples[(family.name + "_count", labels)]
+            if buckets[-1][1] != count:
+                raise ConfigError(
+                    f"{family.name} +Inf bucket ({buckets[-1][1]:g}) != "
+                    f"_count ({count:g}) for {dict(labels)!r}"
+                )

@@ -1,0 +1,524 @@
+"""Telemetry subsystem: registry, exposition, instrumentation.
+
+The contracts pinned here are the ISSUE's acceptance criteria: the
+text exposition obeys Prometheus v0.0.4 structure (label escaping,
+cumulative histogram buckets, ``+Inf`` == ``_count``, ``_sum``
+present), the JSON snapshot and text format describe the same moment,
+and a crash-injected-then-resumed campaign exposes metrics where
+``executed + resumed == total`` and store put/hit counters reconcile
+with ``ShardedResultStore.stats()`` — while resumed reports stay
+bit-identical to a fresh serial run.
+"""
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import (
+    CampaignOrchestrator,
+    CampaignSpec,
+    ShardedResultStore,
+    run_campaign,
+)
+from repro.campaign.orchestrator import CampaignProgress
+from repro.campaign.store import record_checksum
+from repro.errors import ConfigError
+from repro.experiments.cli import main
+from repro.harness import GridRunner, SerialExecutor, run_workload_cell
+from repro.harness.cache import CACHE_VERSION, ResultCache
+from repro.telemetry import (
+    MetricsRegistry,
+    parse_text_format,
+    render_text,
+    scoped_registry,
+)
+from repro.telemetry.httpd import MetricsServer
+
+SPEC = CampaignSpec(
+    schemes=("baseline", "aero"),
+    pec_points=(500,),
+    workloads=("hm", "ali.A"),
+    requests=120,
+    seed=1234,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_workload_cell("aero", 500, "hm", requests=120, seed=7)
+
+
+def families_of(registry: MetricsRegistry):
+    """Render + reparse — every read path in these tests goes through
+    the format validator, so structural invariants are always checked."""
+    return parse_text_format(render_text(registry))
+
+
+# --- registry primitives -----------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_ops_total", "ops")
+    counter.inc()
+    counter.inc(4)
+    gauge = registry.gauge("repro_test_depth", "depth")
+    gauge.set(7)
+    gauge.inc(2)
+    gauge.dec()
+    histogram = registry.histogram(
+        "repro_test_wait_seconds", "wait", buckets=(0.1, 1.0)
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    families = families_of(registry)
+    assert families["repro_test_ops_total"].value() == 5
+    assert families["repro_test_depth"].value() == 8
+    assert families["repro_test_wait_seconds"].value(
+        sample_name="repro_test_wait_seconds_count"
+    ) == 3
+    assert families["repro_test_wait_seconds"].value(
+        {"le": "1.0"}, "repro_test_wait_seconds_bucket"
+    ) == 2
+
+
+def test_counter_rejects_negative_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "t")
+    with pytest.raises(ConfigError):
+        counter.inc(-1)
+
+
+def test_redeclaration_is_idempotent_but_conflicts_raise():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_test_total", "t", labels=("op",))
+    again = registry.counter("repro_test_total", "t", labels=("op",))
+    assert first is again
+    with pytest.raises(ConfigError):
+        registry.gauge("repro_test_total", "t")
+    with pytest.raises(ConfigError):
+        registry.counter("repro_test_total", "t", labels=("other",))
+
+
+def test_observe_many_matches_scalar_observes():
+    import numpy as np
+
+    values = [0.0001, 0.003, 0.02, 0.02, 0.7, 9.0]
+    one = MetricsRegistry().histogram("repro_test_seconds", "s")
+    for value in values:
+        one.observe(value)
+    many = MetricsRegistry().histogram("repro_test_seconds", "s")
+    many.observe_many(np.asarray(values))
+    assert one.snapshot() == many.snapshot()
+
+
+# --- exposition --------------------------------------------------------------
+
+
+def test_label_escaping_round_trips():
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_test_total", "t", labels=("path",)
+    ).labels(path='a\\b"c\nd').inc(3)
+    families = parse_text_format(render_text(registry))
+    assert families["repro_test_total"].value({"path": 'a\\b"c\nd'}) == 3
+
+
+def test_histogram_exposition_invariants():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_test_seconds", "s", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    text = render_text(registry)
+    families = parse_text_format(text)  # validator enforces invariants
+    family = families["repro_test_seconds"]
+    buckets = [
+        families["repro_test_seconds"].value(
+            {"le": le}, "repro_test_seconds_bucket"
+        )
+        for le in ("0.1", "1.0", "10.0", "+Inf")
+    ]
+    assert buckets == sorted(buckets)  # cumulative
+    assert buckets[-1] == family.value(
+        sample_name="repro_test_seconds_count"
+    ) == 5
+    assert family.value(
+        sample_name="repro_test_seconds_sum"
+    ) == pytest.approx(56.05)
+
+
+def test_json_and_text_expositions_agree():
+    registry = MetricsRegistry()
+    registry.counter("repro_test_total", "t", labels=("op",)).labels(
+        op="read"
+    ).inc(2)
+    registry.gauge("repro_test_depth", "d").set(1.5)
+    registry.histogram("repro_test_seconds", "s").observe(0.2)
+    snapshot = registry.snapshot()
+    # the JSON exposition *is* the snapshot: rendering it (after a
+    # serialization round trip) equals rendering the registry
+    round_tripped = json.loads(json.dumps(snapshot))
+    assert render_text(round_tripped) == render_text(registry)
+
+
+def test_parser_rejects_structural_violations():
+    with pytest.raises(ConfigError):
+        parse_text_format("repro_orphan_total 3\n")  # no # TYPE line
+    non_cumulative = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1.0"} 5\n'
+        'repro_h_bucket{le="+Inf"} 3\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 3\n"
+    )
+    with pytest.raises(ConfigError):
+        parse_text_format(non_cumulative)
+    missing_inf = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1.0"} 3\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 3\n"
+    )
+    with pytest.raises(ConfigError):
+        parse_text_format(missing_inf)
+
+
+def test_metrics_server_serves_text_and_json():
+    registry = MetricsRegistry()
+    registry.counter("repro_test_total", "t").inc(9)
+    with MetricsServer(registry) as server:
+        with urllib.request.urlopen(server.url, timeout=5) as response:
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert parse_text_format(text)["repro_test_total"].value() == 9
+        json_url = server.url.replace("/metrics", "/metrics.json")
+        with urllib.request.urlopen(json_url, timeout=5) as response:
+            snapshot = json.loads(response.read().decode("utf-8"))
+        assert render_text(snapshot) == text
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(
+                server.url.replace("/metrics", "/nope"), timeout=5
+            )
+
+
+# --- campaign progress edge cases --------------------------------------------
+
+
+def test_progress_before_first_executed_cell_has_no_rate():
+    progress = CampaignProgress(
+        total=10, executed=0, resumed=4, elapsed_s=2.0
+    )
+    assert progress.cells_per_s is None
+    assert progress.eta_s is None
+    line = progress.format()
+    assert "4/10" in line and "ETA" not in line
+
+
+def test_progress_with_zero_remaining_mid_stream():
+    progress = CampaignProgress(
+        total=6, executed=2, resumed=4, elapsed_s=1.0
+    )
+    assert progress.remaining == 0
+    assert progress.eta_s == 0.0
+    assert "ETA" not in progress.format()  # nothing left to project
+
+
+def test_progress_of_empty_campaign():
+    progress = CampaignProgress(
+        total=0, executed=0, resumed=0, elapsed_s=0.0
+    )
+    assert progress.fraction == 1.0
+    assert progress.format().startswith("0/0 cells")
+
+
+def test_final_progress_reaches_telemetry_without_callback(tmp_path):
+    spec = CampaignSpec(
+        schemes=("aero",), pec_points=(500,), workloads=("hm",),
+        requests=120, seed=1234,
+    )
+    with scoped_registry() as registry:
+        run_campaign(spec, tmp_path / "store")  # no progress callback
+        families = families_of(registry)
+        assert families["repro_campaign_progress_fraction"].value() == 1.0
+        assert families["repro_campaign_eta_seconds"].value() == 0.0
+        assert families["repro_campaign_cells_planned"].value() == 1
+
+
+# --- crash + resume accounting (the acceptance criterion) --------------------
+
+
+def test_crash_resume_metrics_reconcile(tmp_path):
+    reference = GridRunner(executor=SerialExecutor()).run(
+        schemes=SPEC.schemes,
+        pec_points=SPEC.pec_points,
+        workloads=SPEC.workloads,
+        requests=SPEC.requests,
+        erase_suspension=SPEC.erase_suspension,
+        seed=SPEC.seed,
+    )
+    kill_after = 2
+
+    class Kill(Exception):
+        pass
+
+    def bomb(index, job, report, _seen=[0]):  # noqa: B006
+        _seen[0] += 1
+        if _seen[0] >= kill_after:
+            raise Kill()
+
+    with scoped_registry():
+        with pytest.raises(Kill):
+            CampaignOrchestrator(SPEC, tmp_path, on_cell=bomb).run()
+
+    with scoped_registry() as registry:
+        store = ShardedResultStore(tmp_path)
+        result = CampaignOrchestrator(SPEC, store).run()
+        families = families_of(registry)
+        cells = families["repro_campaign_cells_total"]
+        executed = cells.value({"outcome": "executed"})
+        resumed = cells.value({"outcome": "resumed"})
+        assert executed + resumed == SPEC.size
+        assert executed == result.stats.executed
+        assert resumed == result.stats.resumed == kill_after
+        # store counters reconcile with the store's own stats(): every
+        # executed cell was put exactly once, every resumed cell was
+        # one resume-pass hit, every executed cell one resume-pass miss
+        stats = store.stats()
+        puts = families["repro_store_puts_total"].value(
+            {"backend": "sharded"}
+        )
+        hits = families["repro_store_gets_total"].value(
+            {"backend": "sharded", "outcome": "hit"}
+        )
+        misses = families["repro_store_gets_total"].value(
+            {"backend": "sharded", "outcome": "miss"}
+        )
+        assert puts == executed
+        assert hits == resumed
+        assert misses == executed
+        assert stats.keys == SPEC.size
+        assert stats.superseded == 0
+        # stats() refreshes the data_bytes gauge; re-render to see it
+        assert families_of(registry)["repro_store_data_bytes"].value(
+            {"backend": "sharded"}
+        ) == stats.data_bytes
+        # cell wall-time histogram saw exactly the executed cells
+        assert families["repro_campaign_cell_wall_seconds"].value(
+            sample_name="repro_campaign_cell_wall_seconds_count"
+        ) == executed
+    # and the resumed campaign is still bit-identical to a fresh
+    # serial run — instrumentation never touches results
+    assert result.grid == reference
+
+
+# --- store checksums ---------------------------------------------------------
+
+
+def _segment_lines(store_root):
+    for path in sorted(store_root.glob("*/seg-*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            yield path, line
+
+
+def test_store_records_carry_verifiable_crc(tmp_path, report):
+    store = ShardedResultStore(tmp_path)
+    key = "a" * 64
+    store.put(key, report)
+    [(_, line)] = list(_segment_lines(tmp_path))
+    data = json.loads(line)
+    assert data["crc"] == record_checksum(key, data["report"])
+
+
+def test_checksum_mismatch_reads_as_miss_and_counts(tmp_path, report):
+    store = ShardedResultStore(tmp_path)
+    good, bad = "a" * 64, "b" * 64
+    store.put(good, report)
+    store.put(bad, report)
+    # corrupt one byte of the bad record's report payload on disk,
+    # keeping the line valid JSON — only the CRC can catch this
+    for path, line in _segment_lines(tmp_path):
+        data = json.loads(line)
+        if data["key"] != bad:
+            continue
+        data["report"]["requests_completed"] += 1
+        path.write_text(
+            json.dumps(data, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+    with scoped_registry() as registry:
+        reopened = ShardedResultStore(tmp_path)
+        assert reopened.get(good) == report
+        assert bad not in reopened
+        assert reopened.get(bad) is None
+        stats = reopened.stats()
+        assert stats.checksum_failed == 1
+        assert stats.keys == 1
+        families = families_of(registry)
+        assert families["repro_store_bad_entries_total"].value(
+            {"backend": "sharded", "reason": "checksum"}
+        ) == 1
+    # compaction drops the poisoned record for good
+    reopened.compact()
+    assert ShardedResultStore(tmp_path).stats().checksum_failed == 0
+
+
+def test_checksum_less_legacy_records_stay_readable(tmp_path, report):
+    store = ShardedResultStore(tmp_path, prefix_len=2)
+    legacy = "c" * 64
+    shard_dir = tmp_path / legacy[:2]
+    shard_dir.mkdir()
+    line = {
+        "version": CACHE_VERSION,
+        "key": legacy,
+        "ts": 1.0,
+        "meta": {},
+        "report": report.to_json_dict(),
+    }
+    (shard_dir / "seg-000000.jsonl").write_text(
+        json.dumps(line, separators=(",", ":")) + "\n", encoding="utf-8"
+    )
+    assert legacy in store
+    assert store.get(legacy) == report
+    assert store.stats().checksum_failed == 0
+
+
+# --- instrumentation boundaries ----------------------------------------------
+
+
+def test_replay_and_engine_metrics_flow(tmp_path):
+    with scoped_registry() as registry:
+        run_workload_cell("aero", 500, "hm", requests=120, seed=7)
+        families = families_of(registry)
+        assert families["repro_ssd_replays_total"].value() == 1
+        reads = families["repro_ssd_requests_total"].value({"op": "read"})
+        writes = families["repro_ssd_requests_total"].value({"op": "write"})
+        assert reads + writes == 120
+        assert families["repro_ssd_latency_seconds"].value(
+            {"op": "read"}, "repro_ssd_latency_seconds_count"
+        ) == reads
+        assert families["repro_ssd_erases_total"].value() > 0
+        assert families["repro_ssd_erases_total"].value() == families[
+            "repro_ssd_erase_latency_seconds"
+        ].value(sample_name="repro_ssd_erase_latency_seconds_count")
+        assert families["repro_kernel_engine_total"].value(
+            {"site": "cell", "engine": "kernel"}
+        ) == 1
+        assert families["repro_ssd_waf"].value() >= 1.0
+
+
+def test_replay_metrics_identical_across_engines():
+    kwargs = dict(pec=500, workload="hm", requests=120, seed=7)
+    with scoped_registry() as kernel_registry:
+        run_workload_cell("aero", engine="kernel", **kwargs)
+    with scoped_registry() as object_registry:
+        run_workload_cell("aero", engine="object", **kwargs)
+    kernel_families = families_of(kernel_registry)
+    object_families = families_of(object_registry)
+    for name in (
+        "repro_ssd_requests_total",
+        "repro_ssd_erase_suspensions_total",
+        "repro_ssd_erase_resumes_total",
+        "repro_ssd_host_writes_total",
+        "repro_ssd_gc_page_moves_total",
+    ):
+        assert kernel_families[name].samples == object_families[
+            name
+        ].samples, name
+
+
+def test_cache_backend_counts_hits_misses_and_bad_entries(tmp_path, report):
+    with scoped_registry() as registry:
+        cache = ResultCache(tmp_path)
+        key = "d" * 64
+        assert cache.get(key) is None            # absent -> plain miss
+        cache.put(key, report)
+        assert cache.get(key) == report          # hit
+        cache.path(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None            # torn -> miss + reason
+        families = families_of(registry)
+        assert families["repro_store_puts_total"].value(
+            {"backend": "cache"}
+        ) == 1
+        assert families["repro_store_gets_total"].value(
+            {"backend": "cache", "outcome": "hit"}
+        ) == 1
+        assert families["repro_store_gets_total"].value(
+            {"backend": "cache", "outcome": "miss"}
+        ) == 2
+        assert families["repro_store_bad_entries_total"].value(
+            {"backend": "cache", "reason": "torn"}
+        ) == 1
+
+
+# --- CLI surface -------------------------------------------------------------
+
+
+def test_cli_run_with_store_backend(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    argv = ["run", "--requests", "120", "--seed", "7", "--store", store_dir]
+    assert main(argv) == 0
+    assert "served from cache: 0" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "served from cache: 1" in capsys.readouterr().out
+    # the same store resumes a campaign CLI invocation
+    assert ShardedResultStore(store_dir).stats().keys == 1
+
+
+def test_cli_store_and_cache_dir_conflict(tmp_path, capsys):
+    assert main([
+        "run", "--store", str(tmp_path / "a"),
+        "--cache-dir", str(tmp_path / "b"),
+    ]) == 2
+    assert "either --store or --cache-dir" in capsys.readouterr().err
+
+
+def test_cli_metrics_dump_validates_and_requires(tmp_path, capsys):
+    with scoped_registry() as registry:
+        registry.counter("repro_test_total", "t").inc(2)
+        assert main([
+            "metrics", "dump", "--require", "repro_test_total"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro_test_total 2" in out
+        assert main([
+            "metrics", "dump", "--require", "repro_absent_total"
+        ]) == 2
+        assert "repro_absent_total" in capsys.readouterr().err
+
+
+def test_cli_metrics_dump_from_json_snapshot(tmp_path, capsys):
+    registry = MetricsRegistry()
+    registry.counter("repro_test_total", "t").inc(3)
+    snapshot_path = tmp_path / "snap.json"
+    snapshot_path.write_text(
+        json.dumps(registry.snapshot()), encoding="utf-8"
+    )
+    assert main([
+        "metrics", "dump", "--from-json", str(snapshot_path),
+        "--require", "repro_test_total", "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["snapshot_version"] == 1
+
+
+def test_cli_campaign_run_writes_metrics_snapshot(tmp_path, capsys):
+    snapshot_path = tmp_path / "metrics.json"
+    with scoped_registry():
+        assert main([
+            "campaign", "run", "--store", str(tmp_path / "store"),
+            "--schemes", "aero", "--pecs", "500", "--workloads", "hm",
+            "--requests", "120", "--quiet",
+            "--metrics-json", str(snapshot_path),
+        ]) == 0
+    capsys.readouterr()
+    snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    families = parse_text_format(render_text(snapshot))
+    assert families["repro_campaign_cells_total"].value(
+        {"outcome": "executed"}
+    ) == 1
