@@ -12,10 +12,23 @@ and threads with crash-resume". Three layers:
 * :mod:`repro.campaign.orchestrator` — :class:`CampaignOrchestrator`,
   which fans pending cells out over a mixed process+thread executor
   pool and streams each finished cell into the store the moment it
-  completes.
+  completes;
+* :mod:`repro.campaign.supervisor` — :class:`CellSupervisor`, the
+  fault-tolerance layer under the orchestrator: per-cell wall-clock
+  timeouts, retry with seeded exponential backoff, pool rebuild when
+  a worker dies, graceful engine degradation, and poison-cell
+  quarantine (:mod:`repro.campaign.quarantine`, one JSONL record per
+  given-up cell next to the store).
 
-``python -m repro campaign run|status|compact`` drives all three from
-the shell.
+``python -m repro campaign run|status|compact`` drives all of it from
+the shell; ``campaign run --cell-timeout/--max-retries/--on-poison``
+expose the supervision knobs and ``--fault-plan`` arms deterministic
+chaos (:mod:`repro.faults`).
+
+Multi-writer safety: the store takes a shared ``flock`` for appends
+and an exclusive one for compaction/gc, and bumps a generation marker
+on every rewrite — N orchestrator processes can share one store root
+without losing records (see :mod:`repro.campaign.store`).
 
 Store layout
 ============
@@ -68,6 +81,7 @@ from repro.campaign.orchestrator import (
     cell_engine_kind,
     run_campaign,
 )
+from repro.campaign.quarantine import Quarantine
 from repro.campaign.spec import (
     CAMPAIGN_SPEC_VERSION,
     CampaignSpec,
@@ -78,6 +92,11 @@ from repro.campaign.store import (
     ShardedResultStore,
     StoreStats,
 )
+from repro.campaign.supervisor import (
+    CellOutcome,
+    CellSupervisor,
+    RetryPolicy,
+)
 
 __all__ = [
     "CAMPAIGN_SPEC_VERSION",
@@ -86,7 +105,11 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CampaignStats",
+    "CellOutcome",
+    "CellSupervisor",
     "CompactionStats",
+    "Quarantine",
+    "RetryPolicy",
     "ShardedResultStore",
     "StoreStats",
     "cell_engine_kind",

@@ -15,31 +15,37 @@ a result store:
    the GIL, and threads skip the process pickle tax), object-engine
    cells go to :class:`ProcessExecutor` workers (pure-Python event
    loops hold the GIL, so only processes parallelize them).
-4. **Stream** — both pools drain concurrently; each finished report is
-   appended to the store the moment it arrives, so an interruption
-   loses at most the in-flight cells.
-5. **Report** — a progress callback receives cells done / total,
+4. **Supervise** — cells run under a
+   :class:`~repro.campaign.supervisor.CellSupervisor`: wall-clock
+   timeouts, retry with seeded backoff, pool rebuild when a worker
+   dies, quarantine for poison cells — a flaky cell never aborts the
+   campaign (``on_poison="fail"`` opts back into aborting).
+5. **Stream** — each finished report is appended to the store the
+   moment it arrives, so an interruption loses at most the in-flight
+   cells; a put that raises :class:`~repro.errors.InjectedFault`
+   (chaos testing) re-queues its cell instead of crashing.
+6. **Report** — a progress callback receives cells done / total,
    throughput, and a projected finish throughout the run.
 
 Determinism: cells are pure functions of their jobs and the grid is
 assembled in job order, so an orchestrated (parallel, resumed,
-mixed-pool) campaign is bit-identical to a fresh
+mixed-pool, even retried) campaign is bit-identical to a fresh
 :class:`SerialExecutor` run of the same spec — pinned by tests.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.campaign.quarantine import Quarantine
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ShardedResultStore
-from repro.errors import ConfigError
-from repro.harness.executors import ProcessExecutor, ThreadExecutor
+from repro.campaign.supervisor import CellSupervisor, RetryPolicy
+from repro.errors import ConfigError, InjectedFault, PoisonCellError
+from repro.faults import FaultPlan
 from repro.harness.grid import EvaluationGrid
 from repro.harness.runner import CellJob, execute_cell, grid_from_jobs
 from repro.harness.store import ResultStore
@@ -131,7 +137,11 @@ def _format_duration(seconds: float) -> str:
 
 @dataclass(frozen=True)
 class CampaignStats:
-    """Where the campaign's cells came from, and how long it took."""
+    """Where the campaign's cells came from, and how long it took.
+
+    The supervision counters (``retried`` .. ``interrupted``) stay
+    zero on a healthy run.
+    """
 
     total: int
     executed: int
@@ -139,17 +149,33 @@ class CampaignStats:
     thread_cells: int
     process_cells: int
     wall_s: float
+    retried: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    degraded: int = 0
+    interrupted: int = 0
 
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Everything one orchestrated campaign produced."""
+    """Everything one orchestrated campaign produced.
+
+    ``reports[i]`` is ``None`` for a quarantined or interrupted cell;
+    the grid holds the cells that finished. ``quarantined`` carries
+    the quarantine records written this run.
+    """
 
     spec: CampaignSpec
     jobs: Tuple[CellJob, ...]
-    reports: Tuple[PerfReport, ...]
+    reports: Tuple[Optional[PerfReport], ...]
     grid: EvaluationGrid
     stats: CampaignStats
+    quarantined: Tuple[Dict[str, Any], ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return all(report is not None for report in self.reports)
 
 
 _ProgressFn = Callable[[CampaignProgress], None]
@@ -168,6 +194,12 @@ class CampaignOrchestrator:
         progress: Optional[_ProgressFn] = None,
         progress_interval_s: float = 1.0,
         on_cell: Optional[_CellFn] = None,
+        cell_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        on_poison: str = "skip",
+        fault_plan: Optional[FaultPlan] = None,
+        engine_fallback: bool = True,
+        shutdown: Optional[Any] = None,
     ):
         """``store`` is a :class:`ResultStore` or a path (opened as a
         :class:`ShardedResultStore`). ``progress`` is called with a
@@ -178,9 +210,25 @@ class CampaignOrchestrator:
         run (which is exactly how the interrupted-resume tests and the
         CI kill step simulate a crash; everything already persisted
         resumes).
+
+        Supervision: ``cell_timeout_s`` bounds each attempt's wall
+        clock; a failing cell is retried up to ``max_retries`` times
+        with seeded exponential backoff, then (``engine_fallback``)
+        kernel-engine cells get one object-engine attempt, then the
+        cell is quarantined — skipped with a record
+        (``on_poison="skip"``) or fatal
+        (``on_poison="fail"`` → :class:`PoisonCellError`).
+        ``fault_plan`` arms deterministic chaos (worker kills, slow
+        cells; put faults must be armed on the store itself).
+        ``shutdown`` is a ``threading.Event``-like object: once set,
+        no new cells are admitted and in-flight ones drain.
         """
         if process_workers < 1 or thread_workers < 1:
             raise ConfigError("campaign worker counts must be >= 1")
+        if on_poison not in ("skip", "fail"):
+            raise ConfigError(
+                f"on_poison must be 'skip' or 'fail', got {on_poison!r}"
+            )
         self.spec = spec
         self.store: ResultStore = (
             ShardedResultStore(store)
@@ -191,6 +239,13 @@ class CampaignOrchestrator:
         self.progress = progress
         self.progress_interval_s = progress_interval_s
         self.on_cell = on_cell
+        self.cell_timeout_s = cell_timeout_s
+        self.max_retries = max_retries
+        self.on_poison = on_poison
+        self.fault_plan = fault_plan or FaultPlan()
+        self.engine_fallback = engine_fallback
+        self.shutdown = shutdown
+        self.quarantine = Quarantine(getattr(self.store, "root", None))
 
     # --- planning helpers ---------------------------------------------------
 
@@ -239,6 +294,13 @@ class CampaignOrchestrator:
         # first completed cell still sees every family.
         for outcome in ("executed", "resumed", "superseded"):
             metrics.cells.labels(outcome=outcome).inc(0)
+        for reason in ("error", "timeout", "worker_death", "persist_fault"):
+            metrics.retries.labels(reason=reason).inc(0)
+        metrics.timeouts.inc(0)
+        metrics.quarantined.inc(0)
+        metrics.engine_fallbacks.inc(0)
+        for pool in ("thread", "process"):
+            metrics.pool_rebuilds.labels(pool=pool).inc(0)
         if resumed:
             metrics.cells.labels(outcome="resumed").inc(resumed)
         pool_of = {index: "thread" for index in thread_indices}
@@ -247,6 +309,7 @@ class CampaignOrchestrator:
             "thread": len(thread_indices),
             "process": len(process_indices),
         }
+        pool_executed = {"thread": 0, "process": 0}
         pool_workers = {
             "thread": self.thread_workers,
             "process": self.process_workers,
@@ -289,99 +352,130 @@ class CampaignOrchestrator:
             self.progress(snapshot)
 
         emit(force=True)
-        results: "queue.Queue[Tuple[str, int, object]]" = queue.Queue()
-        drains = [
-            threading.Thread(
-                target=self._drain,
-                args=(ThreadExecutor(self.thread_workers),
-                      jobs, thread_indices, results),
-                name="campaign-thread-drain",
-                daemon=True,
+        supervisor = CellSupervisor(
+            policy=RetryPolicy(
+                max_retries=self.max_retries, seed=self.spec.seed
             ),
-            threading.Thread(
-                target=self._drain,
-                args=(ProcessExecutor(self.process_workers),
-                      jobs, process_indices, results),
-                name="campaign-process-drain",
-                daemon=True,
-            ),
-        ]
-        for drain in drains:
-            drain.start()
+            cell_timeout_s=self.cell_timeout_s,
+            process_workers=self.process_workers,
+            thread_workers=self.thread_workers,
+            fault_plan=self.fault_plan,
+            engine_fallback=self.engine_fallback,
+            shutdown=self.shutdown,
+        )
+        for index in thread_indices:
+            supervisor.submit(index, jobs[index], "thread")
+        for index in process_indices:
+            supervisor.submit(index, jobs[index], "process")
+        quarantined_records: List[Dict[str, Any]] = []
         try:
-            for _ in range(len(pending)):
-                kind, index, payload = results.get()
-                if kind == "error":
-                    raise payload  # a worker died; propagate its reason
-                job = jobs[index]
-                wall_s, report = payload
-                assert isinstance(report, PerfReport)
-                meta = {
-                    "scheme": job.scheme,
-                    "pec": job.pec,
-                    "workload": job.workload,
-                    "requests": job.requests,
-                    "seed": job.seed,
-                }
-                if job.scheme_params:
-                    meta["scheme_params"] = dict(job.scheme_params)
-                superseding = job.fingerprint in self.store
-                self.store.put(job.fingerprint, report, meta=meta)
-                reports[index] = report
-                executed += 1
-                metrics.cell_wall.observe(wall_s)
-                metrics.cells.labels(outcome="executed").inc()
-                if superseding:
-                    metrics.cells.labels(outcome="superseded").inc()
-                pool_pending[pool_of[index]] -= 1
-                update_pool_gauges()
-                emit()
-                if self.on_cell is not None:
-                    self.on_cell(index, job, report)
+            while True:
+                outcome = supervisor.next_outcome()
+                if outcome is None:
+                    break
+                index = outcome.index
+                job = outcome.job
+                if outcome.kind == "done":
+                    report = outcome.report
+                    assert isinstance(report, PerfReport)
+                    meta = {
+                        "scheme": job.scheme,
+                        "pec": job.pec,
+                        "workload": job.workload,
+                        "requests": job.requests,
+                        "seed": job.seed,
+                    }
+                    if job.scheme_params:
+                        meta["scheme_params"] = dict(job.scheme_params)
+                    superseding = job.fingerprint in self.store
+                    try:
+                        self.store.put(job.fingerprint, report, meta=meta)
+                    except InjectedFault as fault:
+                        # A chaos fault around the append: the result
+                        # may not be durable, so the cell goes around
+                        # again instead of taking the campaign down.
+                        supervisor.requeue(
+                            index, "persist_fault", str(fault)
+                        )
+                        continue
+                    reports[index] = report
+                    executed += 1
+                    pool_executed[pool_of[index]] += 1
+                    metrics.cell_wall.observe(outcome.wall_s)
+                    metrics.cells.labels(outcome="executed").inc()
+                    if superseding:
+                        metrics.cells.labels(outcome="superseded").inc()
+                    pool_pending[pool_of[index]] -= 1
+                    update_pool_gauges()
+                    emit()
+                    if self.on_cell is not None:
+                        self.on_cell(index, job, report)
+                elif outcome.kind == "quarantined":
+                    record = self.quarantine.record(
+                        key=job.fingerprint,
+                        index=index,
+                        attempts=outcome.attempts,
+                        reason=outcome.reason,
+                        error=outcome.error,
+                        meta={
+                            "scheme": job.scheme,
+                            "pec": job.pec,
+                            "workload": job.workload,
+                            "engine": job.engine,
+                            "degraded": outcome.degraded,
+                        },
+                    )
+                    quarantined_records.append(record)
+                    pool_pending[pool_of[index]] -= 1
+                    update_pool_gauges()
+                    emit()
+                    if self.on_poison == "fail":
+                        raise PoisonCellError(
+                            f"cell {index} ({job.scheme}/{job.pec}/"
+                            f"{job.workload}) quarantined after "
+                            f"{outcome.attempts} attempts: "
+                            f"{outcome.reason}: {outcome.error}",
+                            index=index,
+                            fingerprint=job.fingerprint,
+                        )
+                else:  # interrupted by shutdown
+                    pool_pending[pool_of[index]] -= 1
+                    update_pool_gauges()
         finally:
-            # On clean completion the drains are already finished; on
-            # abort they are daemons working toward results nobody will
-            # persist — join briefly, then let process exit reap them.
-            for drain in drains:
-                drain.join(timeout=0.1)
+            supervisor.close()
         emit(force=True)
 
-        final = [report for report in reports]
-        assert all(report is not None for report in final)
-        grid = grid_from_jobs(jobs, final)  # type: ignore[arg-type]
+        finished = [
+            (job, report)
+            for job, report in zip(jobs, reports)
+            if report is not None
+        ]
+        grid = grid_from_jobs(
+            [job for job, _ in finished],
+            [report for _, report in finished],
+        )
+        sup = supervisor.stats
         return CampaignResult(
             spec=self.spec,
             jobs=tuple(jobs),
-            reports=tuple(final),  # type: ignore[arg-type]
+            reports=tuple(reports),
             grid=grid,
             stats=CampaignStats(
                 total=len(jobs),
                 executed=executed,
                 resumed=resumed,
-                thread_cells=len(thread_indices),
-                process_cells=len(process_indices),
+                thread_cells=pool_executed["thread"],
+                process_cells=pool_executed["process"],
                 wall_s=time.monotonic() - start,
+                retried=sup["retried"],
+                timeouts=sup["timeouts"],
+                quarantined=sup["quarantined"],
+                pool_rebuilds=sup["pool_rebuilds"],
+                degraded=sup["degraded"],
+                interrupted=sup["interrupted"],
             ),
+            quarantined=tuple(quarantined_records),
         )
-
-    @staticmethod
-    def _drain(
-        executor,
-        jobs: Sequence[CellJob],
-        indices: Sequence[int],
-        results: "queue.Queue[Tuple[str, int, object]]",
-    ) -> None:
-        """Stream one executor partition's results into the queue."""
-        if not indices:
-            return
-        try:
-            stream = executor.imap(
-                _timed_execute_cell, [jobs[i] for i in indices]
-            )
-            for index, report in zip(indices, stream):
-                results.put(("ok", index, report))
-        except BaseException as exc:  # forwarded, re-raised by run()
-            results.put(("error", -1, exc))
 
 
 def run_campaign(
@@ -392,6 +486,12 @@ def run_campaign(
     progress: Optional[_ProgressFn] = None,
     progress_interval_s: float = 1.0,
     on_cell: Optional[_CellFn] = None,
+    cell_timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    on_poison: str = "skip",
+    fault_plan: Optional[FaultPlan] = None,
+    engine_fallback: bool = True,
+    shutdown: Optional[Any] = None,
 ) -> CampaignResult:
     """One-call façade over :class:`CampaignOrchestrator`."""
     return CampaignOrchestrator(
@@ -402,4 +502,10 @@ def run_campaign(
         progress=progress,
         progress_interval_s=progress_interval_s,
         on_cell=on_cell,
+        cell_timeout_s=cell_timeout_s,
+        max_retries=max_retries,
+        on_poison=on_poison,
+        fault_plan=fault_plan,
+        engine_fallback=engine_fallback,
+        shutdown=shutdown,
     ).run()

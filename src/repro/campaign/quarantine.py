@@ -1,0 +1,98 @@
+"""Poison-cell quarantine: the store-adjacent record of given-up work.
+
+A cell that fails every retry attempt is *quarantined* rather than
+aborting the campaign: one JSON line per poison cell appends to
+``<store_root>/quarantine.jsonl`` (atomic ``O_APPEND``, same
+durability idiom as the store's segments), so operators can inspect
+what was skipped, why, and with which job parameters — and a later
+run can decide to retry it. Stores without a filesystem root (a
+plain dict in tests) fall back to memory-only records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+QUARANTINE_FILE = "quarantine.jsonl"
+
+
+class Quarantine:
+    """Append-only log of cells that exhausted their retry budget."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.path: Optional[Path] = (
+            Path(root) / QUARANTINE_FILE if root is not None else None
+        )
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        if self.path is not None and self.path.exists():
+            self._records = self._load()
+
+    def _load(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        assert self.path is not None
+        try:
+            blob = self.path.read_bytes()
+        except OSError:
+            return records
+        for line in blob.splitlines():
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue  # torn final line — same tolerance as the store
+            if isinstance(data, dict) and isinstance(data.get("key"), str):
+                records.append(data)
+        return records
+
+    def record(
+        self,
+        key: str,
+        index: int,
+        attempts: int,
+        reason: str,
+        error: str = "",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Quarantine one poison cell; returns the written record."""
+        entry = {
+            "key": key,
+            "index": index,
+            "attempts": attempts,
+            "reason": reason,
+            "error": error,
+            "meta": meta or {},
+            "ts": time.time(),
+        }
+        line = json.dumps(entry, separators=(",", ":")).encode() + b"\n"
+        with self._lock:
+            self._records.append(entry)
+            if self.path is not None:
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+                )
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
+        return entry
+
+    def entries(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(entry) for entry in self._records]
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return any(entry["key"] == key for entry in self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "memory"
+        return f"Quarantine({where!r}, {len(self)} entries)"

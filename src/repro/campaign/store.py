@@ -30,13 +30,28 @@ matters.
 
 Concurrency: every public method is thread-safe behind one store-wide
 lock (the orchestrator persists from its main thread, but `put` from
-ThreadExecutor workers is supported). Multi-*process* writers on one
-store rely on POSIX ``O_APPEND`` atomicity for line integrity; the
-orchestrator keeps writes in the coordinating process.
+ThreadExecutor workers is supported). Multi-*process* writers are
+first-class: appends take a *shared* advisory ``flock`` on the
+per-store lock file (concurrent appenders never serialize against
+each other; POSIX ``O_APPEND`` keeps each line atomic), while
+compaction and gc rewrites take it *exclusive* — so a rewrite can
+never unlink a segment out from under an in-flight append. Every
+rewrite bumps the store *generation* marker (``store.gen``); handles
+that observe a new generation drop their cached shard indexes and
+rescan instead of appending to unlinked segments or crashing on
+``FileNotFoundError``. N orchestrators (or ``campaign run`` racing
+``campaign compact``) can therefore share one store without losing
+records.
+
+Fault injection: a :class:`~repro.faults.FaultInjector` can be armed
+on the store (``fault_injector=``); its hooks fire at the put and
+compaction boundaries documented in :mod:`repro.faults`, behind a
+one-branch no-op default.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
@@ -46,7 +61,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.errors import ConfigError
+from repro.faults import FaultInjector, NO_FAULTS
 from repro.harness.cache import CACHE_VERSION, CacheEntry, GcResult
 from repro.ssd.metrics import PerfReport
 from repro.telemetry.instruments import store_metrics
@@ -71,6 +92,8 @@ def record_checksum(key: str, report_dict: Dict[str, Any]) -> int:
 STORE_LAYOUT_VERSION = 1
 
 _MANIFEST = "store.json"
+_LOCKFILE = "store.lock"
+_GENERATION = "store.gen"
 _DEFAULT_PREFIX_LEN = 2
 _DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
 
@@ -144,6 +167,7 @@ class ShardedResultStore:
         root: str | Path,
         prefix_len: Optional[int] = None,
         segment_max_bytes: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         """Open (or create) the store rooted at ``root``.
 
@@ -152,12 +176,17 @@ class ShardedResultStore:
         size) apply when *creating* a store; an existing store's
         manifest wins, and an explicit ``prefix_len`` conflicting with
         it is an error — honouring it would scatter keys across the
-        wrong shards.
+        wrong shards. ``fault_injector`` arms deterministic faults at
+        the put/compaction boundaries (chaos testing only).
         """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._shards: Dict[str, _Shard] = {}
+        self._faults = fault_injector or NO_FAULTS
+        self._lock_fd: Optional[int] = None
+        self._flock_depth = 0
+        self._generation = self._read_generation_file()
         manifest = self._read_manifest()
         if manifest is None:
             self.prefix_len = (
@@ -224,6 +253,90 @@ class ShardedResultStore:
             encoding="utf-8",
         )
         os.replace(tmp, path)
+
+    def set_fault_injector(self, injector: FaultInjector) -> None:
+        """Arm (or disarm, with :data:`~repro.faults.NO_FAULTS`) the
+        store's fault hooks after construction."""
+        self._faults = injector
+
+    # --- cross-process safety -----------------------------------------------
+    #
+    # Protocol: appends hold the per-store lock file in *shared* mode
+    # (concurrent appenders proceed in parallel; O_APPEND keeps each
+    # line atomic), rewrites (compact/gc) hold it *exclusive* and
+    # rescan from disk first, so an append either completes before the
+    # rewrite reads segments (merged) or starts after it finishes
+    # (observes the bumped generation, rescans, appends to the live
+    # segment). Either way no record is lost.
+
+    @contextlib.contextmanager
+    def _flock(self, exclusive: bool) -> Iterator[None]:
+        """Hold the store lock file; callers already hold ``_lock``.
+
+        Re-entrant within the process (an inner acquisition would
+        otherwise *convert* the outer lock's mode on the shared fd).
+        """
+        if fcntl is None or self._flock_depth > 0:
+            self._flock_depth += 1
+            try:
+                yield
+            finally:
+                self._flock_depth -= 1
+            return
+        if self._lock_fd is None:
+            self._lock_fd = os.open(
+                self.root / _LOCKFILE, os.O_RDWR | os.O_CREAT, 0o644
+            )
+        mode = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        try:
+            fcntl.flock(self._lock_fd, mode | fcntl.LOCK_NB)
+        except OSError:
+            # Contended: another process holds a conflicting mode.
+            metrics = store_metrics("sharded")
+            metrics.lock_waits(
+                "exclusive" if exclusive else "shared"
+            ).inc()
+            begin = time.perf_counter()
+            fcntl.flock(self._lock_fd, mode)
+            metrics.lock_wait_seconds.observe(
+                time.perf_counter() - begin
+            )
+        self._flock_depth = 1
+        try:
+            yield
+        finally:
+            self._flock_depth = 0
+            fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+
+    def _read_generation_file(self) -> int:
+        try:
+            text = (self.root / _GENERATION).read_text(encoding="utf-8")
+            return int(text.strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def _bump_generation(self) -> None:
+        """Advance the generation marker; caller holds the exclusive
+        lock, so read-increment-write cannot race another bump."""
+        self._generation = self._read_generation_file() + 1
+        tmp = self.root / f"{_GENERATION}.tmp.{os.getpid()}"
+        tmp.write_text(str(self._generation), encoding="utf-8")
+        os.replace(tmp, self.root / _GENERATION)
+
+    def _sync_generation(self) -> None:
+        """Drop cached shard indexes if another process compacted."""
+        generation = self._read_generation_file()
+        if generation != self._generation:
+            self._generation = generation
+            if self._shards:
+                self._shards.clear()
+                store_metrics("sharded").generation_rescans.inc()
+
+    def _rescan_shard(self, prefix: str) -> _Shard:
+        """Force one shard's index to reload from disk."""
+        if self._shards.pop(prefix, None) is not None:
+            store_metrics("sharded").generation_rescans.inc()
+        return self._shard(prefix)
 
     # --- sharding -----------------------------------------------------------
 
@@ -294,7 +407,12 @@ class ShardedResultStore:
                 )
                 offset = end + 1
         if segments:
-            shard.active_size = segments[-1].stat().st_size
+            try:
+                shard.active_size = segments[-1].stat().st_size
+            except OSError:
+                # Segment vanished mid-scan (concurrent compaction);
+                # the next append rolls a fresh segment.
+                shard.active_size = 0
         self._shards[prefix] = shard
         return shard
 
@@ -357,6 +475,7 @@ class ShardedResultStore:
     def __contains__(self, key: str) -> bool:
         """Membership matches retrievability, as the contract demands."""
         with self._lock:
+            self._sync_generation()
             record = self._record(key)
             return (
                 record is not None
@@ -368,12 +487,28 @@ class ShardedResultStore:
         """Load the newest record for ``key``; None on any miss."""
         metrics = store_metrics("sharded")
         with self._lock:
+            self._sync_generation()
             record = self._record(key)
             if record is None or record.stale or record.corrupt:
                 metrics.get_outcome(hit=False).inc()
                 return None
             data = self._read_record(record)
-        if data is None or data.get("version") != CACHE_VERSION:
+            if data is None or data.get("key") != key:
+                # The indexed segment was replaced under us by another
+                # process's compaction (generation not yet observed, or
+                # offsets shifted). Reload this shard from disk once.
+                record = self._rescan_shard(
+                    self.shard_of(key)
+                ).records.get(key)
+                if record is None or record.stale or record.corrupt:
+                    metrics.get_outcome(hit=False).inc()
+                    return None
+                data = self._read_record(record)
+        if (
+            data is None
+            or data.get("key") != key
+            or data.get("version") != CACHE_VERSION
+        ):
             metrics.get_outcome(hit=False).inc()
             return None
         try:
@@ -409,33 +544,50 @@ class ShardedResultStore:
         )
         metrics = store_metrics("sharded")
         with self._lock:
-            prefix = self.shard_of(key)
-            shard = self._shard(prefix)
-            path = self._active_segment(prefix, shard, len(line))
-            offset = shard.active_size
-            fd = os.open(
-                path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-            )
-            try:
-                os.write(fd, line)
-            finally:
-                os.close(fd)
-            shard.active_size = offset + len(line)
-            shard.data_bytes += len(line)
-            metrics.puts.inc()
-            metrics.bytes_written.inc(len(line))
-            if key in shard.records:
-                shard.superseded += 1
-                metrics.superseded.inc()
-            shard.records[key] = _Record(
-                path=path,
-                offset=offset,
-                length=len(line),
-                ts=now,
-                meta=dict(meta or {}),
-                stale=False,
-                corrupt=False,
-            )
+            # Fault hooks (no-op branch by default): a crash-flavoured
+            # fault raises InjectedFault before anything is durable; a
+            # corruption fault rewrites the line we are about to append.
+            ordinal = self._faults.before_put(key)
+            payload = self._faults.mutate_line(ordinal, line)
+            with self._flock(exclusive=False):
+                self._sync_generation()
+                prefix = self.shard_of(key)
+                shard = self._shard(prefix)
+                path = self._active_segment(prefix, shard, len(payload))
+                fd = os.open(
+                    path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+                )
+                try:
+                    os.write(fd, payload)
+                    # Under multi-process appends our cached size may
+                    # lag; the fd's position after an O_APPEND write is
+                    # the authoritative end of file.
+                    end = os.lseek(fd, 0, os.SEEK_CUR)
+                finally:
+                    os.close(fd)
+                offset = end - len(payload)
+                shard.active_size = end
+                shard.data_bytes += len(payload)
+                metrics.puts.inc()
+                metrics.bytes_written.inc(len(payload))
+                if payload is not line:
+                    # The line on disk is deliberately damaged; rescan
+                    # so the index reflects what a fresh load would see.
+                    self._shards.pop(prefix, None)
+                else:
+                    if key in shard.records:
+                        shard.superseded += 1
+                        metrics.superseded.inc()
+                    shard.records[key] = _Record(
+                        path=path,
+                        offset=offset,
+                        length=len(payload),
+                        ts=now,
+                        meta=dict(meta or {}),
+                        stale=False,
+                        corrupt=False,
+                    )
+            self._faults.after_put(ordinal, key)
 
     def _active_segment(
         self, prefix: str, shard: _Shard, incoming: int
@@ -480,6 +632,7 @@ class ShardedResultStore:
     def keys(self) -> Iterator[str]:
         """Every retrievable key (healthy, current-version)."""
         with self._lock:
+            self._sync_generation()
             for prefix in self._shard_prefixes():
                 for key, record in self._shard(prefix).records.items():
                     if not record.stale and not record.corrupt:
@@ -492,6 +645,7 @@ class ShardedResultStore:
         either backend. ``path`` points at the record's segment file.
         """
         with self._lock:
+            self._sync_generation()
             found = [
                 CacheEntry(
                     key=key,
@@ -511,6 +665,7 @@ class ShardedResultStore:
     def stats(self) -> StoreStats:
         """Physical/logical snapshot for ``campaign status``."""
         with self._lock:
+            self._sync_generation()
             prefixes = self._shard_prefixes()
             shards = [self._shard(prefix) for prefix in prefixes]
             data_bytes = sum(shard.data_bytes for shard in shards)
@@ -568,7 +723,12 @@ class ShardedResultStore:
         if older_than_s is not None and older_than_s < 0:
             raise ConfigError("older_than_s must be >= 0")
         now = time.time() if now is None else now
-        with self._lock:
+        with self._lock, self._flock(exclusive=True):
+            # Exclusive: no other process can append or rewrite while
+            # we decide what survives. Rescan from disk so appends made
+            # by other processes since our last load are in the policy.
+            self._generation = self._read_generation_file()
+            self._shards.clear()
             doomed: List[CacheEntry] = []
             survivors: List[CacheEntry] = []
             for entry in self.entries():
@@ -614,6 +774,7 @@ class ShardedResultStore:
                         )
             tmp_removed = self._sweep_tmp(now, dry_run)
             if not dry_run and doomed:
+                self._bump_generation()
                 store_metrics("sharded").gc_removed.inc(len(doomed))
         return GcResult(
             removed=tuple(doomed),
@@ -630,7 +791,11 @@ class ShardedResultStore:
         after the old ones before any old segment is unlinked.
         """
         rewritten = 0
-        with self._lock:
+        with self._lock, self._flock(exclusive=True):
+            # Exclusive + rescan, as in gc(): merge what is actually on
+            # disk, including other processes' appends.
+            self._generation = self._read_generation_file()
+            self._shards.clear()
             before = self.stats()
             if not dry_run:
                 for prefix in self._shard_prefixes():
@@ -655,6 +820,8 @@ class ShardedResultStore:
                         )
                         rewritten += 1
                 self._sweep_tmp(time.time(), dry_run=False)
+                if rewritten:
+                    self._bump_generation()
             after = self.stats() if not dry_run else before
         dropped = (
             before.superseded
@@ -718,6 +885,10 @@ class ShardedResultStore:
             fresh.segments = [path]
             fresh.active_size = offset
             fresh.data_bytes = offset
+        # Crash window under test: the merged segment is durable and
+        # outnumbers the old ones, which still exist. A fault plan may
+        # interrupt here; recovery reads benign duplicates, last wins.
+        self._faults.on_compact("before-unlink")
         for old in old_segments:
             try:
                 old.unlink()

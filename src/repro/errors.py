@@ -94,3 +94,40 @@ class SchedulingError(SimulationError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or references an invalid range."""
+
+
+# --- campaigns ----------------------------------------------------------------
+
+
+class CampaignError(ReproError):
+    """Base class for campaign orchestration errors."""
+
+
+class PoisonCellError(CampaignError):
+    """A cell exhausted its retry budget and ``on_poison="fail"`` is set.
+
+    Carries the cell index and fingerprint so operators can find the
+    quarantine record and the job that produced it.
+    """
+
+    def __init__(self, message: str, index: int = -1, fingerprint: str = ""):
+        super().__init__(message)
+        self.index = index
+        self.fingerprint = fingerprint
+
+
+# --- fault injection ----------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault fired from a :class:`repro.faults.FaultPlan`.
+
+    Raised at the exact hook point the plan names (a simulated crash
+    around a store put, a compaction interrupt, a killed thread
+    worker); supervision layers catch it and exercise their recovery
+    path instead of aborting.
+    """
+
+    def __init__(self, message: str, kind: str = ""):
+        super().__init__(message)
+        self.kind = kind

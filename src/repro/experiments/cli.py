@@ -429,7 +429,10 @@ def _campaign_spec_from_args(args: argparse.Namespace):
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignOrchestrator
+    import signal
+    import threading
+
+    from repro.campaign import CampaignOrchestrator, ShardedResultStore
 
     spec = _campaign_spec_from_args(args)
 
@@ -448,14 +451,55 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                     f"injected failure after {args.fail_after} cells"
                 )
 
+    fault_plan = None
+    store = args.store
+    if args.fault_plan:
+        from repro.faults import FaultInjector, load_fault_file
+
+        fault_plan = load_fault_file(args.fault_plan)
+        # One injector drives both hook sites: the store's put/compact
+        # hooks and the supervisor's cell faults share put ordinals.
+        store = ShardedResultStore(
+            args.store, fault_injector=FaultInjector(fault_plan)
+        )
+
+    # Graceful shutdown: the first SIGINT/SIGTERM stops admitting
+    # cells and drains in-flight ones; a second signal gives up
+    # immediately. Installed only on the main thread's handlers.
+    shutdown = threading.Event()
+    caught: dict = {}
+    previous = {}
+
+    def handle_signal(signum, frame) -> None:
+        if shutdown.is_set():
+            raise KeyboardInterrupt  # second signal: stop draining
+        caught["signum"] = signum
+        shutdown.set()
+        print(
+            f"[campaign] caught {signal.Signals(signum).name}; "
+            "draining in-flight cells (signal again to abort)",
+            flush=True,
+        )
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handle_signal)
+        except ValueError:  # not the main thread (tests)
+            break
+
     orchestrator = CampaignOrchestrator(
         spec,
-        args.store,
+        store,
         process_workers=args.process_workers,
         thread_workers=args.thread_workers,
         progress=None if args.quiet else show,
         progress_interval_s=args.progress_interval,
         on_cell=on_cell,
+        cell_timeout_s=args.cell_timeout,
+        max_retries=args.max_retries,
+        on_poison=args.on_poison,
+        fault_plan=fault_plan,
+        shutdown=shutdown,
     )
     server = None
     if args.metrics_port is not None:
@@ -466,6 +510,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     try:
         result = orchestrator.run()
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
         # The snapshot lands even when the run aborts (e.g. the
         # --fail-after crash injection) — that is the state a
         # post-mortem wants; the linger window keeps the endpoint
@@ -482,6 +528,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 time.sleep(args.metrics_linger)
             server.close()
     stats = result.stats
+    exit_code = 128 + caught["signum"] if caught else 0
     if args.json:
         print(
             json.dumps(
@@ -494,19 +541,45 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                         "thread_cells": stats.thread_cells,
                         "process_cells": stats.process_cells,
                         "wall_s": stats.wall_s,
+                        "retried": stats.retried,
+                        "timeouts": stats.timeouts,
+                        "quarantined": stats.quarantined,
+                        "pool_rebuilds": stats.pool_rebuilds,
+                        "degraded": stats.degraded,
+                        "interrupted": stats.interrupted,
                     },
+                    "quarantined": list(result.quarantined),
                 },
                 indent=2,
             )
         )
-        return 0
+        return exit_code
     print(
         f"campaign complete: {stats.total} cells in {stats.wall_s:.1f}s "
         f"(executed {stats.executed}: {stats.thread_cells} on threads, "
         f"{stats.process_cells} on processes; resumed {stats.resumed} "
         f"from {args.store})"
     )
-    return 0
+    if stats.retried or stats.timeouts or stats.pool_rebuilds:
+        print(
+            f"  supervision: {stats.retried} retries, "
+            f"{stats.timeouts} timeouts, {stats.pool_rebuilds} worker "
+            f"rebuilds, {stats.degraded} engine fallbacks"
+        )
+    for record in result.quarantined:
+        meta = record.get("meta", {})
+        print(
+            f"  quarantined cell {record['index']} "
+            f"({meta.get('scheme')}/{meta.get('pec')}/"
+            f"{meta.get('workload')}): {record['reason']} after "
+            f"{record['attempts']} attempts — {record['error']}"
+        )
+    if stats.interrupted:
+        print(
+            f"  interrupted: {stats.interrupted} cells not started "
+            "(resume with the same command)"
+        )
+    return exit_code
 
 
 def _open_store(store_dir: str):
@@ -887,6 +960,22 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--fail-after", type=int, default=None,
                               help="abort after N executed cells "
                                    "(crash-injection for resume testing)")
+    campaign_run.add_argument("--cell-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="kill and retry any cell attempt "
+                                   "running longer than this")
+    campaign_run.add_argument("--max-retries", type=int, default=2,
+                              help="retry attempts per failing cell "
+                                   "before quarantine (default: 2)")
+    campaign_run.add_argument("--on-poison", choices=["skip", "fail"],
+                              default="skip",
+                              help="quarantined cell handling: record "
+                                   "and continue (skip, default) or "
+                                   "abort the campaign (fail)")
+    campaign_run.add_argument("--fault-plan", default=None, metavar="PATH",
+                              help="JSON fault plan to arm on the store "
+                                   "and workers (deterministic chaos "
+                                   "testing; see repro.faults)")
     campaign_run.add_argument("--json", action="store_true",
                               help="emit spec + run stats as JSON")
     campaign_run.add_argument("--metrics-port", type=int, default=None,

@@ -1,0 +1,59 @@
+"""Deterministic fault injection for chaos-testing the campaign stack.
+
+A :class:`FaultPlan` is a seeded, JSON round-trippable description of
+*exactly* which faults fire where: the Nth store put writes a torn
+final line, the worker executing cell K dies, a compaction is
+interrupted between writing the merged segment and unlinking the old
+ones. Because every fault is a pure predicate over (cell index,
+attempt number, put ordinal) plus a seed — no wall clocks, no real
+randomness — a chaos run reproduces byte-for-byte: CI replays every
+failure mode the suite pins.
+
+Hook points are threaded through the store and orchestrator behind a
+no-op default (:data:`NO_FAULTS`), so production paths pay one branch
+per boundary call. ``python -m repro campaign run --fault-plan
+plan.json`` arms a plan from the shell.
+
+Fault kinds
+===========
+
+``torn_tail``
+    The targeted put's line is truncated mid-record before the append
+    (a crash mid-``write``); the record is lost, later loads skip it.
+``corrupt_checksum``
+    The targeted put's CRC32 field is flipped; the record parses but
+    reads as a checksum miss.
+``crash_before_put`` / ``crash_after_put``
+    :class:`~repro.errors.InjectedFault` is raised around the targeted
+    append — the orchestrator treats it as a torn persist and retries
+    the cell (before: nothing durable; after: a superseded duplicate).
+``kill_worker``
+    The worker executing the targeted cell dies — ``os._exit`` in a
+    process worker (real worker death, exercising pool rebuild),
+    :class:`InjectedFault` in a thread worker.
+``slow_cell``
+    The targeted cell sleeps ``delay_s`` before executing — pair with
+    ``--cell-timeout`` to exercise the timeout/retry path.
+``compact_interrupt``
+    :class:`InjectedFault` is raised inside ``compact()`` after the
+    merged segment is in place but before old segments are unlinked —
+    the crash window compaction must survive.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NO_FAULTS,
+    load_fault_file,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NO_FAULTS",
+    "load_fault_file",
+]

@@ -87,6 +87,13 @@ class MetricsServer:
         """Begin serving on a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise ConfigError("metrics server already started")
+        # Expose the bound port in the registry itself, so snapshots
+        # written by a ``--metrics-port 0`` run record where the
+        # endpoint actually lived.
+        self.registry.gauge(
+            "repro_metrics_port",
+            "TCP port the metrics endpoint is bound to.",
+        ).set(self.port)
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-metrics-httpd",

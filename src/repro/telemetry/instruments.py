@@ -42,6 +42,10 @@ CELL_WALL_BUCKETS = (
 #: Batch-kernel block-count buckets.
 BATCH_SIZE_BUCKETS = (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
 
+#: Store lock contention buckets (seconds): shared/exclusive flock
+#: waits range from sub-millisecond handoffs to a full compaction.
+LOCK_WAIT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0)
+
 
 def _registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
     if registry is not None:
@@ -64,6 +68,11 @@ class CampaignMetrics:
     cell_wall: MetricFamily      # histogram
     progress_fraction: MetricFamily  # gauge
     eta_seconds: MetricFamily    # gauge
+    retries: MetricFamily        # counter{reason}
+    timeouts: MetricFamily       # counter
+    quarantined: MetricFamily    # counter
+    pool_rebuilds: MetricFamily  # counter{pool}
+    engine_fallbacks: MetricFamily  # counter
 
 
 def campaign_metrics(
@@ -110,6 +119,31 @@ def campaign_metrics(
             "repro_campaign_eta_seconds",
             "Projected seconds until the campaign finishes.",
         ),
+        retries=reg.counter(
+            "repro_campaign_retries_total",
+            "Cell attempts re-queued after a recoverable failure, "
+            "by reason (error, timeout, worker_death, persist_fault).",
+            labels=("reason",),
+        ),
+        timeouts=reg.counter(
+            "repro_campaign_timeouts_total",
+            "Cell attempts killed for exceeding the wall-clock "
+            "cell timeout.",
+        ),
+        quarantined=reg.counter(
+            "repro_campaign_quarantined_total",
+            "Poison cells quarantined after exhausting retries.",
+        ),
+        pool_rebuilds=reg.counter(
+            "repro_campaign_pool_rebuilds_total",
+            "Worker replacements after a worker died or was killed.",
+            labels=("pool",),
+        ),
+        engine_fallbacks=reg.counter(
+            "repro_campaign_engine_fallbacks_total",
+            "Kernel-engine cells degraded to the object engine after "
+            "exhausting kernel-path retries.",
+        ),
     )
 
 
@@ -127,6 +161,9 @@ class StoreMetrics:
     gc_removed: MetricFamily  # counter
     data_bytes: MetricFamily  # gauge
     bytes_written: MetricFamily  # counter
+    lock_waits: MetricFamily  # counter{mode}
+    lock_wait_seconds: MetricFamily  # histogram
+    generation_rescans: MetricFamily  # counter
 
 
 def store_metrics(
@@ -182,6 +219,24 @@ def store_metrics(
             "Bytes appended by puts.",
             labels=labels,
         ),
+        lock_waits=reg.counter(
+            "repro_store_lock_waits_total",
+            "Contended cross-process lock acquisitions, by the mode "
+            "that had to wait (shared appends vs exclusive rewrites).",
+            labels=("backend", "mode"),
+        ),
+        lock_wait_seconds=reg.histogram(
+            "repro_store_lock_wait_seconds",
+            "Time spent blocked on a contended store lock.",
+            labels=labels,
+            buckets=LOCK_WAIT_BUCKETS,
+        ),
+        generation_rescans=reg.counter(
+            "repro_store_generation_rescans_total",
+            "Shard-index rescans forced by another process's "
+            "compaction (generation bump or vanished segment).",
+            labels=labels,
+        ),
     )
     return _BoundStoreMetrics(families, backend)
 
@@ -191,8 +246,9 @@ class _BoundStoreMetrics:
 
     __slots__ = (
         "puts", "superseded", "compactions", "reclaimed_bytes",
-        "gc_removed", "data_bytes", "bytes_written", "_gets",
-        "_bad_entries", "_backend",
+        "gc_removed", "data_bytes", "bytes_written",
+        "lock_wait_seconds", "generation_rescans", "_gets",
+        "_bad_entries", "_lock_waits", "_backend",
     )
 
     def __init__(self, families: StoreMetrics, backend: str):
@@ -207,8 +263,15 @@ class _BoundStoreMetrics:
         self.bytes_written = families.bytes_written.labels(
             backend=backend
         )
+        self.lock_wait_seconds = families.lock_wait_seconds.labels(
+            backend=backend
+        )
+        self.generation_rescans = families.generation_rescans.labels(
+            backend=backend
+        )
         self._gets = families.gets
         self._bad_entries = families.bad_entries
+        self._lock_waits = families.lock_waits
         self._backend = backend
 
     def get_outcome(self, hit: bool):
@@ -220,6 +283,33 @@ class _BoundStoreMetrics:
         return self._bad_entries.labels(
             backend=self._backend, reason=reason
         )
+
+    def lock_waits(self, mode: str):
+        return self._lock_waits.labels(
+            backend=self._backend, mode=mode
+        )
+
+
+# --- fault injection ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultMetrics:
+    injected: MetricFamily  # counter{kind}
+
+
+def fault_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> FaultMetrics:
+    reg = _registry(registry)
+    return FaultMetrics(
+        injected=reg.counter(
+            "repro_faults_injected_total",
+            "Deterministic faults fired from the armed fault plan, "
+            "by kind.",
+            labels=("kind",),
+        ),
+    )
 
 
 # --- SSD replay / FTL --------------------------------------------------------

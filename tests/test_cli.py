@@ -367,3 +367,78 @@ def test_campaign_status_requires_existing_store(tmp_path, capsys):
         ["campaign", "status", "--store", str(tmp_path / "nope")]
     ) == 2
     assert "no such store" in capsys.readouterr().err
+
+
+def test_campaign_run_with_fault_plan_recovers(tmp_path, capsys):
+    """The CLI chaos smoke: a kill_worker fault is retried and the
+    campaign still exits 0 with a supervision summary."""
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps({
+        "fault_plan": {
+            "seed": 3,
+            "faults": [
+                {"kind": "kill_worker", "cell": 0, "attempt": 1},
+            ],
+        },
+    }))
+    assert main(CAMPAIGN_ARGS + [
+        "--store", str(tmp_path / "store"),
+        "--fault-plan", str(plan_path),
+        "--max-retries", "2", "--cell-timeout", "120",
+        "--engine", "object",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campaign complete: 2 cells" in out
+    assert "supervision: 1 retries" in out
+    assert "1 worker rebuilds" in out
+
+
+def test_campaign_run_on_poison_fail_exits_2(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 3,
+        "faults": [{"kind": "kill_worker", "cell": 0, "attempt": None}],
+    }))
+    assert main(CAMPAIGN_ARGS + [
+        "--store", str(tmp_path / "store"),
+        "--fault-plan", str(plan_path),
+        "--max-retries", "0", "--on-poison", "fail",
+        "--engine", "object",
+    ]) == 2
+    assert "quarantined after 1 attempts" in capsys.readouterr().err
+
+
+def test_campaign_run_quarantine_reported(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 3,
+        "faults": [{"kind": "kill_worker", "cell": 0, "attempt": None}],
+    }))
+    assert main(CAMPAIGN_ARGS + [
+        "--store", str(tmp_path / "store"),
+        "--fault-plan", str(plan_path),
+        "--max-retries", "1", "--engine", "object",
+        "--quiet", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["quarantined"] == 1
+    assert payload["stats"]["executed"] == 1
+    [record] = payload["quarantined"]
+    assert record["reason"] == "worker_death"
+
+
+def test_campaign_run_rejects_bad_fault_plan(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps({
+        "faults": [{"kind": "meteor_strike"}],
+    }))
+    assert main(CAMPAIGN_ARGS + [
+        "--store", str(tmp_path / "store"),
+        "--fault-plan", str(plan_path),
+    ]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(CAMPAIGN_ARGS + [
+        "--store", str(tmp_path / "store2"),
+        "--fault-plan", str(tmp_path / "missing.json"),
+    ]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -522,3 +522,22 @@ def test_cli_campaign_run_writes_metrics_snapshot(tmp_path, capsys):
     assert families["repro_campaign_cells_total"].value(
         {"outcome": "executed"}
     ) == 1
+
+
+def test_metrics_server_ephemeral_port_sets_gauge():
+    registry = MetricsRegistry()
+    with MetricsServer(registry, port=0) as server:
+        assert server.port != 0
+        families = parse_text_format(render_text(registry))
+        assert families["repro_metrics_port"].value() == server.port
+
+
+def test_metrics_server_address_in_use_is_one_line():
+    registry = MetricsRegistry()
+    with MetricsServer(registry, port=0) as server:
+        with pytest.raises(ConfigError) as excinfo:
+            MetricsServer(MetricsRegistry(), port=server.port).start()
+    message = str(excinfo.value)
+    assert "cannot bind metrics endpoint" in message
+    assert str(server.port) in message
+    assert "\n" not in message
