@@ -8,7 +8,11 @@ and threads with crash-resume". Three layers:
   chunked append-only result store;
 * :mod:`repro.campaign.spec` — :class:`CampaignSpec`, the declarative
   (schemes x PECs x workloads) campaign description, JSON
-  round-trippable and :meth:`GridRunner.plan`-compatible;
+  round-trippable and :meth:`GridRunner.plan`-compatible; plus
+  :class:`MixedCampaignSpec` and :func:`campaign_spec_from_dict`,
+  which dispatch on a ``family`` key so one campaign file carries
+  grid cells (``"cell"``), lifetime curves (``"lifetime"``, a
+  :class:`~repro.lifetime.spec.LifetimeSpec`), or both (``"mixed"``);
 * :mod:`repro.campaign.orchestrator` — :class:`CampaignOrchestrator`,
   which fans pending cells out over a mixed process+thread executor
   pool and streams each finished cell into the store the moment it
@@ -53,6 +57,11 @@ Each line of a segment is one self-contained record::
     {"version": CACHE_VERSION, "key": "<fingerprint>", "ts": <epoch>,
      "meta": {...}, "report": {...}}
 
+Non-cell results (lifetime curves) additionally carry a top-level
+``"family"`` key naming the result family; cell records omit it, so
+every record written before families existed still reads back
+byte-identically as a cell.
+
 Append-only semantics: a ``put`` appends one line (a single
 ``O_APPEND`` write, atomic on POSIX) to the shard's highest-numbered
 segment, rolling to a fresh segment once the active one exceeds
@@ -83,8 +92,11 @@ from repro.campaign.orchestrator import (
 )
 from repro.campaign.quarantine import Quarantine
 from repro.campaign.spec import (
+    CAMPAIGN_FAMILIES,
     CAMPAIGN_SPEC_VERSION,
     CampaignSpec,
+    MixedCampaignSpec,
+    campaign_spec_from_dict,
     load_campaign_file,
 )
 from repro.campaign.store import (
@@ -99,6 +111,7 @@ from repro.campaign.supervisor import (
 )
 
 __all__ = [
+    "CAMPAIGN_FAMILIES",
     "CAMPAIGN_SPEC_VERSION",
     "CampaignOrchestrator",
     "CampaignProgress",
@@ -108,10 +121,12 @@ __all__ = [
     "CellOutcome",
     "CellSupervisor",
     "CompactionStats",
+    "MixedCampaignSpec",
     "Quarantine",
     "RetryPolicy",
     "ShardedResultStore",
     "StoreStats",
+    "campaign_spec_from_dict",
     "cell_engine_kind",
     "load_campaign_file",
     "run_campaign",

@@ -47,31 +47,25 @@ from repro.campaign.supervisor import CellSupervisor, RetryPolicy
 from repro.errors import ConfigError, InjectedFault, PoisonCellError
 from repro.faults import FaultPlan
 from repro.harness.grid import EvaluationGrid
-from repro.harness.runner import CellJob, execute_cell, grid_from_jobs
+from repro.harness.runner import grid_from_jobs
 from repro.harness.store import ResultStore
-from repro.ssd.metrics import PerfReport
 from repro.telemetry.instruments import campaign_metrics
 
 
-def _timed_execute_cell(job: CellJob) -> Tuple[float, PerfReport]:
-    """``execute_cell`` timed inside the worker — module-level so it
-    pickles into :class:`ProcessExecutor` children; the wall time rides
-    back with the report and is observed in the coordinating process
-    (child registries are invisible to the parent)."""
-    begin = time.perf_counter()
-    report = execute_cell(job)
-    return time.perf_counter() - begin, report
+def cell_engine_kind(job: Any) -> str:
+    """Which engine a job will execute on: kernel or object.
 
-
-def cell_engine_kind(job: CellJob) -> str:
-    """Which replay engine the cell will execute on: kernel or object.
-
-    Mirrors the decision inside ``run_workload_cell`` without building
-    an SSD: ``build_ssd`` always constructs one of the two exact FTL
-    types the cell kernel supports, and freshly built drives never
-    carry retired blocks, so every cell that does not force
-    ``engine="object"`` replays on the kernel path.
+    For grid cells this mirrors the decision inside
+    ``run_workload_cell`` without building an SSD: ``build_ssd`` always
+    constructs one of the two exact FTL types the cell kernel supports,
+    and freshly built drives never carry retired blocks, so every cell
+    that does not force ``engine="object"`` replays on the kernel path.
+    Lifetime jobs resolve through
+    :attr:`~repro.lifetime.spec.LifetimeJob.resolved_engine` (the
+    scheme may not provide a batch kernel at all).
     """
+    if getattr(job, "family", "cell") == "lifetime":
+        return job.resolved_engine
     return "object" if job.engine == "object" else "kernel"
 
 
@@ -162,24 +156,39 @@ class CampaignResult:
     """Everything one orchestrated campaign produced.
 
     ``reports[i]`` is ``None`` for a quarantined or interrupted cell;
-    the grid holds the cells that finished. ``quarantined`` carries
-    the quarantine records written this run.
+    the grid holds the *grid cells* that finished (lifetime jobs do
+    not live on a (scheme, pec, workload) grid), and ``comparisons``
+    the assembled :class:`~repro.lifetime.comparison.SchemeComparison`
+    of every lifetime member whose curves all completed.
+    ``quarantined`` carries the quarantine records written this run.
     """
 
-    spec: CampaignSpec
-    jobs: Tuple[CellJob, ...]
-    reports: Tuple[Optional[PerfReport], ...]
+    spec: Any
+    jobs: Tuple[Any, ...]
+    reports: Tuple[Optional[Any], ...]
     grid: EvaluationGrid
     stats: CampaignStats
     quarantined: Tuple[Dict[str, Any], ...] = ()
+    comparisons: Tuple[Any, ...] = ()
 
     @property
     def complete(self) -> bool:
         return all(report is not None for report in self.reports)
 
+    def family_counts(self) -> Dict[str, Dict[str, int]]:
+        """``{family: {"total": n, "done": m}}`` across the job list."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for job, report in zip(self.jobs, self.reports):
+            family = getattr(job, "family", "cell")
+            entry = counts.setdefault(family, {"total": 0, "done": 0})
+            entry["total"] += 1
+            if report is not None:
+                entry["done"] += 1
+        return counts
+
 
 _ProgressFn = Callable[[CampaignProgress], None]
-_CellFn = Callable[[int, CellJob, PerfReport], None]
+_CellFn = Callable[[int, Any, Any], None]
 
 
 class CampaignOrchestrator:
@@ -187,7 +196,7 @@ class CampaignOrchestrator:
 
     def __init__(
         self,
-        spec: CampaignSpec,
+        spec: Union[CampaignSpec, Any],
         store: Union[ResultStore, str, Path],
         process_workers: int = 1,
         thread_workers: int = 1,
@@ -249,8 +258,9 @@ class CampaignOrchestrator:
 
     # --- planning helpers ---------------------------------------------------
 
-    def plan(self) -> List[CellJob]:
-        """The campaign's jobs (``GridRunner.plan``-identical)."""
+    def plan(self) -> List[Any]:
+        """The campaign's jobs (``GridRunner.plan``-identical for grid
+        cells; lifetime members emit :class:`LifetimeJob` orders)."""
         return self.spec.jobs()
 
     def status(self) -> CampaignProgress:
@@ -261,13 +271,32 @@ class CampaignOrchestrator:
             total=len(jobs), executed=0, resumed=done, elapsed_s=0.0
         )
 
+    def family_status(self) -> Dict[str, Dict[str, int]]:
+        """Per-family resume counts (``campaign status --json``)."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for job in self.plan():
+            family = getattr(job, "family", "cell")
+            entry = counts.setdefault(family, {"total": 0, "done": 0})
+            entry["total"] += 1
+            if job.fingerprint in self.store:
+                entry["done"] += 1
+        return counts
+
+    def _member_ranges(self) -> List[Tuple[Any, int, int]]:
+        """``(member, start, stop)`` job slices; single-family specs
+        are their own sole member."""
+        ranges = getattr(self.spec, "member_ranges", None)
+        if ranges is not None:
+            return ranges()
+        return [(self.spec, 0, self.spec.size)]
+
     # --- execution ----------------------------------------------------------
 
     def run(self) -> CampaignResult:
         """Execute the campaign; resume, fan out, stream, assemble."""
         start = time.monotonic()
         jobs = self.plan()
-        reports: List[Optional[PerfReport]] = [None] * len(jobs)
+        reports: List[Optional[Any]] = [None] * len(jobs)
 
         # Resume pass: everything the store can retrieve is loaded.
         pending: List[int] = []
@@ -377,16 +406,7 @@ class CampaignOrchestrator:
                 job = outcome.job
                 if outcome.kind == "done":
                     report = outcome.report
-                    assert isinstance(report, PerfReport)
-                    meta = {
-                        "scheme": job.scheme,
-                        "pec": job.pec,
-                        "workload": job.workload,
-                        "requests": job.requests,
-                        "seed": job.seed,
-                    }
-                    if job.scheme_params:
-                        meta["scheme_params"] = dict(job.scheme_params)
+                    meta = job.store_meta()
                     superseding = job.fingerprint in self.store
                     try:
                         self.store.put(job.fingerprint, report, meta=meta)
@@ -418,9 +438,7 @@ class CampaignOrchestrator:
                         reason=outcome.reason,
                         error=outcome.error,
                         meta={
-                            "scheme": job.scheme,
-                            "pec": job.pec,
-                            "workload": job.workload,
+                            **job.store_meta(),
                             "engine": job.engine,
                             "degraded": outcome.degraded,
                         },
@@ -431,8 +449,8 @@ class CampaignOrchestrator:
                     emit()
                     if self.on_poison == "fail":
                         raise PoisonCellError(
-                            f"cell {index} ({job.scheme}/{job.pec}/"
-                            f"{job.workload}) quarantined after "
+                            f"cell {index} ({job.describe()}) "
+                            f"quarantined after "
                             f"{outcome.attempts} attempts: "
                             f"{outcome.reason}: {outcome.error}",
                             index=index,
@@ -449,11 +467,21 @@ class CampaignOrchestrator:
             (job, report)
             for job, report in zip(jobs, reports)
             if report is not None
+            and getattr(job, "family", "cell") == "cell"
         ]
         grid = grid_from_jobs(
             [job for job, _ in finished],
             [report for _, report in finished],
         )
+        # Lifetime members whose curves all completed assemble into
+        # SchemeComparisons, one per member, in member order.
+        comparisons = []
+        for member, begin, end in self._member_ranges():
+            if getattr(member, "family", "cell") != "lifetime":
+                continue
+            curves = reports[begin:end]
+            if all(curve is not None for curve in curves):
+                comparisons.append(member.comparison(curves))
         sup = supervisor.stats
         return CampaignResult(
             spec=self.spec,
@@ -475,11 +503,12 @@ class CampaignOrchestrator:
                 interrupted=sup["interrupted"],
             ),
             quarantined=tuple(quarantined_records),
+            comparisons=tuple(comparisons),
         )
 
 
 def run_campaign(
-    spec: CampaignSpec,
+    spec: Union[CampaignSpec, Any],
     store: Union[ResultStore, str, Path],
     process_workers: int = 1,
     thread_workers: int = 1,

@@ -40,6 +40,9 @@ from repro.kernels import ENGINES
 #: Bump when the campaign-file layout changes incompatibly.
 CAMPAIGN_SPEC_VERSION = 1
 
+#: The ``family`` values a campaign file may declare.
+CAMPAIGN_FAMILIES = ("cell", "lifetime", "mixed")
+
 _DEFAULT_SEED = 0xAE20
 
 
@@ -55,6 +58,9 @@ class CampaignSpec:
     erase_suspension: bool = True
     engine: str = "auto"
     ssd: Optional[SsdSpec] = field(default=None)
+
+    #: Family discriminator (grid-cell replay campaigns).
+    family = "cell"
 
     def __post_init__(self) -> None:
         for name in ("schemes", "pec_points", "workloads"):
@@ -149,6 +155,7 @@ class CampaignSpec:
         """JSON-safe dict; ``from_dict`` inverts it losslessly."""
         return {
             "version": CAMPAIGN_SPEC_VERSION,
+            "family": "cell",
             "schemes": list(self.schemes),
             "pec_points": list(self.pec_points),
             "workloads": list(self.workloads),
@@ -173,9 +180,14 @@ class CampaignSpec:
                 f"unsupported campaign spec version {version!r} "
                 f"(this library reads version {CAMPAIGN_SPEC_VERSION})"
             )
+        family = data.get("family", "cell")
+        if family != "cell":
+            raise ConfigError(
+                f"family {family!r} is not a cell campaign spec"
+            )
         known = {
-            "version", "schemes", "pec_points", "workloads", "requests",
-            "seed", "erase_suspension", "engine", "ssd",
+            "version", "family", "schemes", "pec_points", "workloads",
+            "requests", "seed", "erase_suspension", "engine", "ssd",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -209,10 +221,155 @@ class CampaignSpec:
         return cls.from_dict(data)
 
 
-def load_campaign_file(path: Union[str, Path]) -> CampaignSpec:
-    """Load a campaign spec from a JSON file.
+@dataclass(frozen=True)
+class MixedCampaignSpec:
+    """A campaign whose members span both families.
 
-    Accepts the bare spec object or ``{"campaign": {...}}``.
+    ``members`` is an ordered tuple of :class:`CampaignSpec` and
+    :class:`~repro.lifetime.spec.LifetimeSpec` objects; ``jobs()``
+    concatenates the members' jobs in order, so one orchestrator run
+    executes lifetime curves and replay cells under the same
+    supervision, retry/quarantine, fault-injection, and telemetry.
+    Nested mixed members are rejected — one level of grouping keeps
+    job offsets trivially computable (``member_ranges``).
+    """
+
+    members: Tuple[Any, ...] = ()
+
+    #: Family discriminator (heterogeneous campaigns).
+    family = "mixed"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(self.members))
+        if not self.members:
+            raise ConfigError("mixed campaign needs at least one member")
+        for member in self.members:
+            member_family = getattr(member, "family", None)
+            if member_family not in ("cell", "lifetime"):
+                raise ConfigError(
+                    f"mixed campaign members must be cell or lifetime "
+                    f"specs, got {type(member).__name__} "
+                    f"(family {member_family!r})"
+                )
+
+    # --- derived ------------------------------------------------------------
+
+    @property
+    def seed(self) -> int:
+        """The first member's seed (used for retry-backoff derivation)."""
+        return self.members[0].seed
+
+    @property
+    def size(self) -> int:
+        return sum(member.size for member in self.members)
+
+    def validate(self) -> "MixedCampaignSpec":
+        for member in self.members:
+            member.validate()
+        return self
+
+    def jobs(self) -> List[Any]:
+        """Every member's jobs, concatenated in member order."""
+        jobs: List[Any] = []
+        for member in self.members:
+            jobs.extend(member.jobs())
+        return jobs
+
+    def member_ranges(self) -> List[Tuple[Any, int, int]]:
+        """``(member, start, stop)`` slices into the :meth:`jobs` list."""
+        ranges: List[Tuple[Any, int, int]] = []
+        offset = 0
+        for member in self.members:
+            ranges.append((member, offset, offset + member.size))
+            offset += member.size
+        return ranges
+
+    def fingerprints(self) -> List[str]:
+        return [job.fingerprint for job in self.jobs()]
+
+    # --- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": CAMPAIGN_SPEC_VERSION,
+            "family": "mixed",
+            "members": [member.to_dict() for member in self.members],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MixedCampaignSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"campaign spec must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        version = data.get("version", CAMPAIGN_SPEC_VERSION)
+        if version != CAMPAIGN_SPEC_VERSION:
+            raise ConfigError(
+                f"unsupported campaign spec version {version!r} "
+                f"(this library reads version {CAMPAIGN_SPEC_VERSION})"
+            )
+        known = {"version", "family", "members"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown campaign spec fields {unknown}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        members = data.get("members")
+        if not isinstance(members, (list, tuple)):
+            raise ConfigError("mixed campaign needs a members list")
+        parsed = []
+        for member in members:
+            if (
+                isinstance(member, Mapping)
+                and member.get("family") == "mixed"
+            ):
+                raise ConfigError(
+                    "mixed campaigns cannot nest mixed members"
+                )
+            parsed.append(campaign_spec_from_dict(member))
+        return cls(members=tuple(parsed))
+
+
+def campaign_spec_from_dict(
+    data: Mapping[str, Any],
+) -> Union[CampaignSpec, MixedCampaignSpec, Any]:
+    """Parse any campaign-family spec dict by its ``family`` key.
+
+    ``cell`` (the default when the key is absent, for backward
+    compatibility with pre-family campaign files) builds a
+    :class:`CampaignSpec`, ``lifetime`` a
+    :class:`~repro.lifetime.spec.LifetimeSpec`, ``mixed`` a
+    :class:`MixedCampaignSpec`; anything else is a
+    :class:`ConfigError` listing the valid families.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"campaign spec must be a JSON object, got {type(data).__name__}"
+        )
+    family = data.get("family", "cell")
+    if family == "cell":
+        return CampaignSpec.from_dict(data)
+    if family == "lifetime":
+        from repro.lifetime.spec import LifetimeSpec
+
+        return LifetimeSpec.from_dict(data)
+    if family == "mixed":
+        return MixedCampaignSpec.from_dict(data)
+    raise ConfigError(
+        f"unknown campaign family {family!r}; "
+        f"valid families: {', '.join(CAMPAIGN_FAMILIES)}"
+    )
+
+
+def load_campaign_file(
+    path: Union[str, Path],
+) -> Union[CampaignSpec, MixedCampaignSpec, Any]:
+    """Load a campaign spec (any family) from a JSON file.
+
+    Accepts the bare spec object or ``{"campaign": {...}}``; the
+    ``family`` key selects the spec type (``cell`` when absent).
     """
     path = Path(path)
     try:
@@ -225,4 +382,4 @@ def load_campaign_file(path: Union[str, Path]) -> CampaignSpec:
         ) from exc
     if isinstance(data, Mapping) and "campaign" in data:
         data = data["campaign"]
-    return CampaignSpec.from_dict(data)
+    return campaign_spec_from_dict(data)

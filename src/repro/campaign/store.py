@@ -69,7 +69,12 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.errors import ConfigError
 from repro.faults import FaultInjector, NO_FAULTS
 from repro.harness.cache import CACHE_VERSION, CacheEntry, GcResult
-from repro.ssd.metrics import PerfReport
+from repro.harness.results import (
+    FAMILY_CELL,
+    result_family,
+    result_from_json_dict,
+    result_to_json_dict,
+)
 from repro.telemetry.instruments import store_metrics
 
 
@@ -108,6 +113,7 @@ class _Record(NamedTuple):
     meta: Dict[str, Any]
     stale: bool     # readable, but written under another CACHE_VERSION
     corrupt: bool   # readable JSON, but missing or failing its report
+    family: str = FAMILY_CELL  # result family (absent on legacy records)
 
 
 @dataclass
@@ -136,6 +142,10 @@ class StoreStats:
     superseded: int      # records shadowed by a later append
     checksum_failed: int  # records seen with a CRC32 mismatch
     data_bytes: int
+    #: Retrievable entries per result family, as sorted (family, count)
+    #: pairs — mixed campaigns report cell and lifetime progress
+    #: separately (``campaign status --json``).
+    families: Tuple[Tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -457,6 +467,7 @@ class ShardedResultStore:
             meta=dict(meta) if isinstance(meta, dict) else {},
             stale=stale,
             corrupt=corrupt,
+            family=str(data.get("family", FAMILY_CELL)),
         )
 
     def _record(self, key: str) -> Optional[_Record]:
@@ -483,8 +494,13 @@ class ShardedResultStore:
                 and not record.corrupt
             )
 
-    def get(self, key: str) -> Optional[PerfReport]:
-        """Load the newest record for ``key``; None on any miss."""
+    def get(self, key: str) -> Optional[Any]:
+        """Load the newest record for ``key``; None on any miss.
+
+        Deserialization dispatches on the record's ``family`` field
+        (absent on legacy records, which read as grid cells), so one
+        store holds grid-cell reports and lifetime curves side by side.
+        """
         metrics = store_metrics("sharded")
         with self._lock:
             self._sync_generation()
@@ -512,8 +528,10 @@ class ShardedResultStore:
             metrics.get_outcome(hit=False).inc()
             return None
         try:
-            report = PerfReport.from_json_dict(data["report"])
-        except (ValueError, KeyError, TypeError):
+            report = result_from_json_dict(
+                data.get("family", FAMILY_CELL), data["report"]
+            )
+        except (ValueError, KeyError, TypeError, ConfigError):
             metrics.get_outcome(hit=False).inc()
             return None
         metrics.get_outcome(hit=True).inc()
@@ -522,24 +540,28 @@ class ShardedResultStore:
     def put(
         self,
         key: str,
-        report: PerfReport,
+        report: Any,
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Append one finished cell; one atomic ``O_APPEND`` write."""
+        """Append one finished result; one atomic ``O_APPEND`` write."""
         now = time.time()
-        report_dict = report.to_json_dict()
+        family = result_family(report)
+        report_dict = result_to_json_dict(report)
+        record: Dict[str, Any] = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "ts": now,
+            "meta": meta or {},
+            "report": report_dict,
+            "crc": record_checksum(key, report_dict),
+        }
+        # Legacy cell records have no family field; writing cells the
+        # same way keeps record bytes identical across versions (the
+        # CRC covers key + report either way).
+        if family != FAMILY_CELL:
+            record["family"] = family
         line = (
-            json.dumps(
-                {
-                    "version": CACHE_VERSION,
-                    "key": key,
-                    "ts": now,
-                    "meta": meta or {},
-                    "report": report_dict,
-                    "crc": record_checksum(key, report_dict),
-                },
-                separators=(",", ":"),
-            ).encode("utf-8")
+            json.dumps(record, separators=(",", ":")).encode("utf-8")
             + b"\n"
         )
         metrics = store_metrics("sharded")
@@ -586,6 +608,7 @@ class ShardedResultStore:
                         meta=dict(meta or {}),
                         stale=False,
                         corrupt=False,
+                        family=family,
                     )
             self._faults.after_put(ordinal, key)
 
@@ -670,6 +693,13 @@ class ShardedResultStore:
             shards = [self._shard(prefix) for prefix in prefixes]
             data_bytes = sum(shard.data_bytes for shard in shards)
             store_metrics("sharded").data_bytes.set(data_bytes)
+            family_counts: Dict[str, int] = {}
+            for shard in shards:
+                for record in shard.records.values():
+                    if not record.stale and not record.corrupt:
+                        family_counts[record.family] = (
+                            family_counts.get(record.family, 0) + 1
+                        )
             return StoreStats(
                 shards=len(prefixes),
                 segments=sum(len(shard.segments) for shard in shards),
@@ -699,6 +729,7 @@ class ShardedResultStore:
                     shard.checksum_failed for shard in shards
                 ),
                 data_bytes=data_bytes,
+                families=tuple(sorted(family_counts.items())),
             )
 
     # --- garbage collection and compaction ----------------------------------

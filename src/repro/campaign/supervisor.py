@@ -41,17 +41,24 @@ from repro.harness.executors import (
     ThreadWorker,
     WorkerEvent,
 )
-from repro.harness.runner import CellJob, execute_cell
+from repro.harness.runner import execute_job
 from repro.rng import derive
+from repro.telemetry import get_default_registry, scoped_registry
 from repro.telemetry.instruments import campaign_metrics, fault_metrics
 
 
-def _run_cell_task(task: Tuple[int, int, str, CellJob, FaultPlan]):
-    """Worker-side cell execution with fault evaluation.
+def _run_cell_task(task: Tuple[int, int, str, Any, FaultPlan]):
+    """Worker-side job execution with fault evaluation.
 
     Module-level so process workers can pickle it; the fault plan's
     cell predicates are pure functions of ``(cell, attempt, engine)``,
     so a forked worker needs no shared state to evaluate them.
+
+    Process workers run the job under a fresh telemetry registry and
+    return its snapshot as a fourth tuple element, so metrics recorded
+    inside the child (replay counters, latency histograms) reach the
+    coordinator; thread workers share the parent registry and return
+    ``None`` there.
     """
     index, attempt, worker_kind, job, plan = task
     if plan:
@@ -68,8 +75,14 @@ def _run_cell_task(task: Tuple[int, int, str, CellJob, FaultPlan]):
                 kind="kill_worker",
             )
     begin = time.perf_counter()
-    report = execute_cell(job)
-    return index, report, time.perf_counter() - begin
+    if worker_kind == "process":
+        with scoped_registry() as registry:
+            report = execute_job(job)
+        snapshot = registry.snapshot()
+    else:
+        report = execute_job(job)
+        snapshot = None
+    return index, report, time.perf_counter() - begin, snapshot
 
 
 @dataclass(frozen=True)
@@ -113,7 +126,7 @@ class CellOutcome:
     """
 
     index: int
-    job: CellJob
+    job: Any
     kind: str
     report: Any = None
     wall_s: float = 0.0
@@ -126,7 +139,7 @@ class CellOutcome:
 class _Cell:
     __slots__ = ("job", "pool", "attempts", "degraded")
 
-    def __init__(self, job: CellJob, pool: str):
+    def __init__(self, job: Any, pool: str):
         self.job = job
         self.pool = pool
         self.attempts = 0
@@ -180,8 +193,9 @@ class CellSupervisor:
 
     # --- public API ---------------------------------------------------------
 
-    def submit(self, index: int, job: CellJob, pool: str) -> None:
-        """Enqueue one cell on the ``process`` or ``thread`` pool."""
+    def submit(self, index: int, job: Any, pool: str) -> None:
+        """Enqueue one job (grid cell or lifetime curve) on the
+        ``process`` or ``thread`` pool."""
         if pool not in self._pending:
             raise ConfigError(f"unknown pool {pool!r}")
         self._cells[index] = _Cell(job, pool)
@@ -411,7 +425,12 @@ class CellSupervisor:
         if worker is not None and worker.alive:
             self._idle[worker.kind].append(worker)
         if event.kind == "result":
-            _, report, wall_s = event.payload
+            _, report, wall_s = event.payload[:3]
+            snapshot = event.payload[3] if len(event.payload) > 3 else None
+            if snapshot:
+                # Process workers ship their telemetry home with the
+                # result; merge before the outcome becomes visible.
+                get_default_registry().merge_snapshot(snapshot)
             cell = self._cells[index]
             self._ready.append(
                 CellOutcome(
@@ -446,12 +465,15 @@ class CellSupervisor:
             and not cell.degraded
             and cell.pool == "thread"
             and cell.job.engine != "object"
+            and getattr(cell.job, "family", "cell") == "cell"
         ):
             # Graceful degradation: exactly one object-engine attempt
             # on the process pool before giving the cell up (attempts
             # is already at budget, so the next failure quarantines).
-            # The fingerprint excludes the engine, so the store key is
-            # unchanged.
+            # The cell fingerprint excludes the engine, so the store
+            # key is unchanged; lifetime jobs are excluded because
+            # their fingerprints pin the resolved engine — swapping it
+            # would silently answer a different question.
             cell.job = replace(cell.job, engine="object")
             cell.pool = "process"
             cell.degraded = True

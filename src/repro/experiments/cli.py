@@ -5,7 +5,10 @@ Five subcommands cover the paper's evaluation surface:
 * ``run``      — execute one experiment (flags or ``--spec-file`` JSON);
 * ``grid``     — a (schemes x PECs x workloads) campaign with the
   normalized read-tail table the figures use;
-* ``compare``  — the Figure 13 lifetime comparison across schemes;
+* ``compare``  — the Figure 13 lifetime comparison across schemes
+  (flags or a ``--spec`` LifetimeSpec file; ``--store``/``--cache-dir``
+  persist curves for crash-resume, sharing cache entries with
+  lifetime-family campaigns);
 * ``cache``    — inspect (``ls``) and prune (``gc``) the result cache;
 * ``campaign`` — orchestrated large campaigns against the sharded
   result store (``run`` with live progress/ETA and crash-resume,
@@ -339,37 +342,99 @@ def _default_compare_executor(schemes, profile, engine: str) -> str:
     return "thread"
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.lifetime.comparison import compare_schemes
-    from repro.nand.chip_types import profile_by_name
+class _FailingStore:
+    """Store wrapper that crashes after N successful puts.
 
+    Behind ``compare --fail-after``, the crash-injection half of the
+    CI resume smoke: the inner ``put`` completes *before* the failure,
+    so the Nth curve is durable and a rerun resumes past it.
+    """
+
+    def __init__(self, inner: Any, fail_after: int):
+        if fail_after < 1:
+            raise ConfigError("--fail-after must be >= 1")
+        self._inner = inner
+        self._remaining = fail_after
+
+    def get(self, key: str) -> Any:
+        return self._inner.get(key)
+
+    def put(self, key: str, report: Any, meta: Optional[dict] = None) -> None:
+        self._inner.put(key, report, meta=meta)
+        self._remaining -= 1
+        if self._remaining <= 0:
+            raise RuntimeError(
+                "injected failure after persisting a curve (--fail-after)"
+            )
+
+
+def _compare_spec_from_args(args: argparse.Namespace):
+    from repro.lifetime import LifetimeSpec, load_lifetime_file
+
+    if args.spec_file:
+        flag_defaults = {
+            "profile": "3D-TLC-48L",
+            "schemes": ["baseline", "iispe", "dpes", "aero_cons", "aero"],
+            "blocks": 48, "step": 50, "seed": 0xAE20, "max_pec": 12000,
+            "requirement": None, "mispredict_rate": 0.0, "engine": "auto",
+        }
+        overridden = [
+            f"--{name.replace('_', '-')}"
+            for name, default in flag_defaults.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            raise ConfigError(
+                "--spec fully describes the comparison; drop the "
+                f"conflicting flags: {', '.join(overridden)}"
+            )
+        return load_lifetime_file(args.spec_file).validate()
     if not args.schemes:
         raise ConfigError("compare needs at least one scheme")
-    for scheme in args.schemes:
-        SCHEMES.get(scheme)
-    profile = profile_by_name(args.profile)
-    kind = args.executor or _default_compare_executor(
-        args.schemes, profile, args.engine
-    )
-    executor = (
-        _EXECUTORS[kind](args.workers) if args.workers > 1 else None
-    )
-    comparison = compare_schemes(
-        profile,
-        scheme_keys=tuple(args.schemes),
+    return LifetimeSpec(
+        schemes=tuple(args.schemes),
+        profile=args.profile,
         block_count=args.blocks,
         step=args.step,
         seed=args.seed,
         max_pec=args.max_pec,
         requirement=args.requirement,
         mispredict_rate=args.mispredict_rate,
-        executor=executor,
         engine=args.engine,
+    ).validate()
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness.runner import GridRunner
+    from repro.nand.chip_types import profile_by_name
+
+    if args.store and args.cache_dir:
+        raise ConfigError("pass --store or --cache-dir, not both")
+    spec = _compare_spec_from_args(args)
+    profile = profile_by_name(spec.profile)
+    kind = args.executor or _default_compare_executor(
+        spec.schemes, profile, spec.engine
     )
-    baseline_key = args.schemes[0]
+    executor = (
+        _EXECUTORS[kind](args.workers) if args.workers > 1 else None
+    )
+    backend: Optional[Any] = None
+    if args.store:
+        from repro.campaign import ShardedResultStore
+
+        backend = ShardedResultStore(args.store)
+    elif args.cache_dir:
+        backend = ResultCache(Path(args.cache_dir))
+    if args.fail_after is not None:
+        if backend is None:
+            raise ConfigError("--fail-after needs --store or --cache-dir")
+        backend = _FailingStore(backend, args.fail_after)
+    runner = GridRunner(executor=executor, cache=backend)
+    comparison = spec.comparison(runner.execute_jobs(spec.jobs()))
+    baseline_key = spec.schemes[0]
     base = comparison.curves[baseline_key].lifetime_pec
     rows = []
-    for key in args.schemes:
+    for key in spec.schemes:
         curve = comparison.curves[key]
         lifetime = curve.lifetime_pec
         if key == baseline_key or not base:
@@ -379,7 +444,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         else:
             delta = f"{lifetime / base - 1:+.1%}"
         if lifetime is None:
-            lifetime = f">{args.max_pec}"
+            lifetime = f">{spec.max_pec}"
         rows.append([key, lifetime, delta])
     print(
         format_table(
@@ -388,6 +453,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"Lifetime comparison on {profile.name}",
         )
     )
+    if backend is not None:
+        print(
+            f"curves executed: {runner.stats.executed}, "
+            f"served from cache: {runner.stats.cached}"
+        )
     return 0
 
 
@@ -568,10 +638,16 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         )
     for record in result.quarantined:
         meta = record.get("meta", {})
+        if meta.get("family") == "lifetime":
+            label = f"{meta.get('scheme')}@{meta.get('profile')}"
+        else:
+            label = (
+                f"{meta.get('scheme')}/{meta.get('pec')}/"
+                f"{meta.get('workload')}"
+            )
         print(
             f"  quarantined cell {record['index']} "
-            f"({meta.get('scheme')}/{meta.get('pec')}/"
-            f"{meta.get('workload')}): {record['reason']} after "
+            f"({label}): {record['reason']} after "
             f"{record['attempts']} attempts — {record['error']}"
         )
     if stats.interrupted:
@@ -595,20 +671,58 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
     store = _open_store(args.store)
     stats = store.stats()
+    payload: Dict[str, Any] = {
+        "store": {
+            "path": args.store,
+            "keys": stats.keys,
+            "shards": stats.shards,
+            "segments": stats.segments,
+            "data_bytes": stats.data_bytes,
+            "superseded": stats.superseded,
+            "stale": stats.stale,
+            "corrupt": stats.corrupt,
+            "corrupt_lines": stats.corrupt_lines,
+            "families": dict(stats.families),
+        },
+    }
+    progress = None
+    family_status: Dict[str, Dict[str, int]] = {}
     if args.spec_file:
         from repro.campaign import load_campaign_file
 
         spec = load_campaign_file(args.spec_file).validate()
-        progress = CampaignOrchestrator(spec, store).status()
+        orchestrator = CampaignOrchestrator(spec, store)
+        progress = orchestrator.status()
+        family_status = orchestrator.family_status()
+        payload["campaign"] = {
+            "family": spec.family,
+            "total": progress.total,
+            "done": progress.done,
+            "remaining": progress.remaining,
+            "families": family_status,
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if progress is not None:
         print(
             f"campaign: {progress.done}/{progress.total} cells done "
             f"({progress.fraction:.1%}), {progress.remaining} pending"
         )
+        for family, counts in sorted(family_status.items()):
+            print(
+                f"  {family}: {counts['done']}/{counts['total']} done"
+            )
     print(
         f"store {args.store}: {stats.keys} entries across "
         f"{stats.shards} shards / {stats.segments} segments, "
         f"{stats.data_bytes:,} bytes"
     )
+    if stats.families:
+        print(
+            "  families: "
+            + ", ".join(f"{name} x{count}" for name, count in stats.families)
+        )
     dead = stats.stale + stats.corrupt + stats.superseded
     if dead or stats.corrupt_lines:
         print(
@@ -902,6 +1016,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="lifetime engine: vectorized batch kernel "
                               "when the scheme provides one (auto), or "
                               "force one path")
+    compare.add_argument("--spec", "--spec-file", dest="spec_file",
+                         default=None, metavar="PATH",
+                         help="JSON LifetimeSpec file; fully describes the "
+                              "comparison, so the sweep flags above "
+                              "conflict with it")
+    compare.add_argument("--store", default=None, metavar="DIR",
+                         help="sharded result store for finished curves "
+                              "(crash-resume; shareable with campaign run)")
+    compare.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="one-file-per-curve result cache "
+                              "(alternative to --store)")
+    compare.add_argument("--fail-after", type=int, default=None,
+                         metavar="N",
+                         help="crash injection: abort after N curves "
+                              "persisted (resume smoke testing; needs "
+                              "--store or --cache-dir)")
     compare.set_defaults(func=_cmd_compare)
 
     bench = sub.add_parser(
@@ -998,6 +1128,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="report store contents and campaign completion"
     )
     campaign_status.add_argument("--store", required=True)
+    campaign_status.add_argument("--json", action="store_true",
+                                 help="machine-readable status: store "
+                                      "stats (incl. per-family entry "
+                                      "counts) plus per-family campaign "
+                                      "progress when --spec-file is given")
     campaign_status.add_argument("--spec-file", default=None,
                                  help="campaign spec to report done/total "
                                       "against")

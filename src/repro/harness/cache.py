@@ -38,7 +38,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import SsdSpec
 from repro.errors import ConfigError
-from repro.ssd.metrics import PerfReport
+from repro.harness.results import (
+    FAMILY_CELL,
+    result_family,
+    result_from_json_dict,
+    result_to_json_dict,
+)
 from repro.telemetry.instruments import store_metrics
 
 #: Bump when the cell-execution semantics or file format change; old
@@ -115,6 +120,17 @@ class CacheEntry:
         if self.corrupt:
             return "<corrupt entry>"
         meta = self.meta
+        if meta.get("family") == "lifetime":
+            parts = [
+                str(meta.get("scheme", "?")),
+                f"profile={meta.get('profile', '?')}",
+                f"blocks={meta.get('block_count', '?')}",
+                f"seed={meta.get('seed', '?')}",
+                "[lifetime]",
+            ]
+            if self.stale:
+                parts.append("[stale version]")
+            return " ".join(parts)
         parts = [
             str(meta.get("scheme", "?")),
             f"pec={meta.get('pec', '?')}",
@@ -210,8 +226,13 @@ class ResultCache:
             return None, "corrupt"
         return data, None
 
-    def get(self, key: str) -> Optional[PerfReport]:
-        """Load a cached report; None on miss or unreadable entry.
+    def get(self, key: str) -> Optional[Any]:
+        """Load a cached result; None on miss or unreadable entry.
+
+        Deserialization dispatches on the entry's ``family`` field
+        (absent on legacy entries, which read as grid cells — see
+        :mod:`repro.harness.results`), so one cache directory holds
+        grid-cell reports and lifetime curves side by side.
 
         Hits, misses, and unusable entries count toward the
         ``backend="cache"`` telemetry series here — and only here, so
@@ -225,8 +246,10 @@ class ResultCache:
                 metrics.bad_entry(reason).inc()
             return None
         try:
-            report = PerfReport.from_json_dict(data["report"])
-        except (ValueError, KeyError, TypeError):
+            report = result_from_json_dict(
+                data.get("family", FAMILY_CELL), data["report"]
+            )
+        except (ValueError, KeyError, TypeError, ConfigError):
             metrics.get_outcome(hit=False).inc()
             metrics.bad_entry("corrupt").inc()
             return None
@@ -236,16 +259,21 @@ class ResultCache:
     def put(
         self,
         key: str,
-        report: PerfReport,
+        report: Any,
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Atomically persist one finished cell."""
+        """Atomically persist one finished result (either family)."""
+        family = result_family(report)
         data = {
             "version": CACHE_VERSION,
             "key": key,
             "meta": meta or {},
-            "report": report.to_json_dict(),
+            "report": result_to_json_dict(report),
         }
+        # Legacy cell entries have no family field; writing cells the
+        # same way keeps the on-disk bytes identical across versions.
+        if family != FAMILY_CELL:
+            data["family"] = family
         path = self.path(key)
         tmp = path.with_suffix(
             f".tmp.{os.getpid()}.{threading.get_ident()}"

@@ -25,6 +25,7 @@ turn the same event into a ``died`` message on a queue.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing as mp
 import os
 import queue
@@ -94,12 +95,33 @@ class SerialExecutor:
         return "SerialExecutor()"
 
 
+def _snapshot_task(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, Any]:
+    """Worker-side wrapper: run ``fn(item)`` under a fresh telemetry
+    registry and return ``(result, registry_snapshot)``.
+
+    Process workers would otherwise increment counters in a forked
+    registry the coordinator never sees; shipping the snapshot home
+    with the result lets the parent merge it on arrival (see
+    :meth:`repro.telemetry.MetricsRegistry.merge_snapshot`).
+    """
+    from repro.telemetry import scoped_registry
+
+    with scoped_registry() as registry:
+        result = fn(item)
+    return result, registry.snapshot()
+
+
 class ProcessExecutor:
     """Fan jobs out across ``workers`` OS processes.
 
     Results are returned in submission order. Worker processes are
     created per ``map`` call and torn down afterwards, so the executor
     object itself stays picklable and reusable.
+
+    Telemetry recorded inside a worker (counters, histograms) is
+    snapshotted per task and merged into the coordinator's default
+    registry as each result is yielded, so process fan-out and the
+    in-process executors report identical metrics.
     """
 
     def __init__(self, workers: Optional[int] = None):
@@ -126,11 +148,19 @@ class ProcessExecutor:
             return
         workers = min(self.workers, len(items))
         if workers == 1:
+            # Inline path: no child process, so jobs already record
+            # into the parent registry — no snapshot round-trip.
             for item in items:
                 yield fn(item)
             return
+        from repro.telemetry import get_default_registry
+
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(fn, items, chunksize=1)
+            for result, snapshot in pool.map(
+                functools.partial(_snapshot_task, fn), items, chunksize=1
+            ):
+                get_default_registry().merge_snapshot(snapshot)
+                yield result
 
     def __repr__(self) -> str:
         return f"ProcessExecutor(workers={self.workers})"

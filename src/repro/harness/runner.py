@@ -74,6 +74,28 @@ class CellJob:
     #: cache entry per cell.
     engine: str = "auto"
 
+    #: Family discriminator for the campaign layer and result stores;
+    #: lifetime jobs (:class:`repro.lifetime.spec.LifetimeJob`) carry
+    #: ``"lifetime"``.
+    family = "cell"
+
+    def store_meta(self) -> dict:
+        """Human-readable provenance stored alongside the report."""
+        meta: dict = {
+            "scheme": self.scheme,
+            "pec": self.pec,
+            "workload": self.workload,
+            "requests": self.requests,
+            "seed": self.seed,
+        }
+        if self.scheme_params:
+            meta["scheme_params"] = dict(self.scheme_params)
+        return meta
+
+    def describe(self) -> str:
+        """Short label for logs and quarantine records."""
+        return f"{self.scheme}/{self.pec}/{self.workload}"
+
     @property
     def fingerprint(self) -> str:
         # mispredict_rate keeps its dedicated fingerprint slot (and the
@@ -133,6 +155,27 @@ def execute_cell(job: CellJob) -> PerfReport:
         scheme_params=dict(job.scheme_params),
         engine=job.engine,
     )
+
+
+def execute_job(job: Any) -> Any:
+    """Run one job of either campaign family (module-level, picklable).
+
+    Grid cells go through :func:`execute_cell`; any other family
+    (e.g. :class:`repro.lifetime.spec.LifetimeJob`) must bring its own
+    ``execute()``. Dispatching here keeps the harness importable
+    without the lifetime stack while letting every executor, the
+    :class:`GridRunner`, and the campaign supervisor run mixed job
+    lists through one entry point.
+    """
+    if isinstance(job, CellJob):
+        return execute_cell(job)
+    execute = getattr(job, "execute", None)
+    if execute is None:
+        raise ConfigError(
+            f"job of type {type(job).__name__} is neither a CellJob "
+            "nor provides execute()"
+        )
+    return execute()
 
 
 def plan_jobs(
@@ -252,17 +295,21 @@ class GridRunner:
 
     # --- execution ----------------------------------------------------------
 
-    def execute_jobs(self, jobs: Sequence[CellJob]) -> List[PerfReport]:
-        """Execute cell jobs, reports in job order; cache-aware.
+    def execute_jobs(self, jobs: Sequence[Any]) -> List[Any]:
+        """Execute jobs, results in job order; cache-aware.
 
         The reusable core of :meth:`run` — the declarative experiment
         layer (:func:`repro.experiments.run_experiments`) feeds
         :class:`CellJob` lists resolved from ``ExperimentSpec`` objects
         through the same cache-then-executor path, so CLI runs, spec
-        files, and grid campaigns share cache entries. Updates
+        files, and grid campaigns share cache entries. Jobs of any
+        campaign family run here — lifetime jobs
+        (:class:`repro.lifetime.spec.LifetimeJob`) interleave freely
+        with grid cells; each needs only ``fingerprint``,
+        ``store_meta()``, and :func:`execute_job` support. Updates
         :attr:`stats`.
         """
-        reports: List[Optional[PerfReport]] = [None] * len(jobs)
+        reports: List[Optional[Any]] = [None] * len(jobs)
         pending: List[int] = []
         if self.cache is not None:
             for index, job in enumerate(jobs):
@@ -277,21 +324,12 @@ class GridRunner:
         # Stream results out of the executor and persist each one the
         # moment it arrives, so an interrupted campaign keeps every
         # completed cell and resumes from there.
-        fresh = self.executor.imap(execute_cell, [jobs[i] for i in pending])
+        fresh = self.executor.imap(execute_job, [jobs[i] for i in pending])
         for index, report in zip(pending, fresh):
             reports[index] = report
             if self.cache is not None:
                 job = jobs[index]
-                meta = {
-                    "scheme": job.scheme,
-                    "pec": job.pec,
-                    "workload": job.workload,
-                    "requests": job.requests,
-                    "seed": job.seed,
-                }
-                if job.scheme_params:
-                    meta["scheme_params"] = dict(job.scheme_params)
-                self.cache.put(job.fingerprint, report, meta=meta)
+                self.cache.put(job.fingerprint, report, meta=job.store_meta())
 
         self.stats = RunStats(
             executed=len(pending), cached=len(jobs) - len(pending)

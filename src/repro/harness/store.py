@@ -22,30 +22,33 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
-from repro.ssd.metrics import PerfReport
-
 
 @runtime_checkable
 class ResultStore(Protocol):
-    """Keyed, atomic persistence of finished cell reports.
+    """Keyed, atomic persistence of finished campaign results.
 
-    Keys are cell fingerprints
-    (:func:`~repro.harness.cache.cell_fingerprint`). Implementations
-    must keep the membership/retrievability invariant: ``key in store``
-    is true iff ``store.get(key)`` returns a report.
+    Keys are job fingerprints — cell fingerprints
+    (:func:`~repro.harness.cache.cell_fingerprint`) for grid cells,
+    :attr:`~repro.lifetime.spec.LifetimeJob.fingerprint` for lifetime
+    curves; the stored value is the matching result type
+    (:class:`~repro.ssd.metrics.PerfReport` /
+    :class:`~repro.lifetime.simulator.LifetimeCurve` — see
+    :mod:`repro.harness.results` for the family dispatch).
+    Implementations must keep the membership/retrievability invariant:
+    ``key in store`` is true iff ``store.get(key)`` returns a result.
     """
 
-    def get(self, key: str) -> Optional[PerfReport]:
-        """The stored report for ``key``, or ``None`` on a miss."""
+    def get(self, key: str) -> Optional[Any]:
+        """The stored result for ``key``, or ``None`` on a miss."""
         ...
 
     def put(
         self,
         key: str,
-        report: PerfReport,
+        report: Any,
         meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Atomically persist one finished cell under ``key``."""
+        """Atomically persist one finished result under ``key``."""
         ...
 
     def __contains__(self, key: str) -> bool:

@@ -1,4 +1,13 @@
-"""Lifetime evaluation: P/E cycling to failure per erase scheme (§7.2)."""
+"""Lifetime evaluation: P/E cycling to failure per erase scheme (§7.2).
+
+Two entry styles share one execution path: the imperative
+:func:`compare_schemes` / sensitivity sweeps, and the declarative
+:class:`LifetimeSpec`, which resolves to cacheable
+:class:`LifetimeJob` work orders that run through the same
+:class:`~repro.harness.runner.GridRunner`/:class:`~repro.harness.
+store.ResultStore` machinery (and the campaign orchestrator) as
+grid-cell replays.
+"""
 
 from repro.lifetime.simulator import LifetimeCurve, LifetimeSimulator
 from repro.lifetime.comparison import (
@@ -7,12 +16,22 @@ from repro.lifetime.comparison import (
     misprediction_sensitivity,
     requirement_sensitivity,
 )
+from repro.lifetime.spec import (
+    LIFETIME_SPEC_VERSION,
+    LifetimeJob,
+    LifetimeSpec,
+    load_lifetime_file,
+)
 
 __all__ = [
+    "LIFETIME_SPEC_VERSION",
     "LifetimeCurve",
+    "LifetimeJob",
     "LifetimeSimulator",
+    "LifetimeSpec",
     "SchemeComparison",
     "compare_schemes",
+    "load_lifetime_file",
     "misprediction_sensitivity",
     "requirement_sensitivity",
 ]

@@ -9,12 +9,12 @@ misprediction rate (Figure 16, lifetime panel) and RBER requirement
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.experiments.registry import SCHEMES
 from repro.lifetime.simulator import LifetimeCurve, LifetimeSimulator
-from repro.nand.chip_types import ChipProfile
+from repro.nand.chip_types import ChipProfile, profile_by_name
 from repro.schemes import SCHEME_KEYS
 
 
@@ -40,6 +40,27 @@ class SchemeComparison:
         return sorted(
             self.curves,
             key=lambda k: -(self.curves[k].lifetime_pec or 0),
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Serialize to plain JSON types; exact round-trip via
+        :meth:`from_json_dict` (curve order preserved)."""
+        return {
+            "profile_name": self.profile_name,
+            "curves": {
+                key: curve.to_json_dict()
+                for key, curve in self.curves.items()
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SchemeComparison":
+        return cls(
+            profile_name=str(data["profile_name"]),
+            curves={
+                str(key): LifetimeCurve.from_json_dict(curve)
+                for key, curve in data["curves"].items()
+            },
         )
 
 
@@ -73,6 +94,22 @@ def _run_curve(job: _CurveJob) -> LifetimeCurve:
     return simulator.run(max_pec=job.max_pec)
 
 
+def _builtin_profile_name(profile: ChipProfile) -> Optional[str]:
+    """The registry name of ``profile``, or None for ad-hoc profiles.
+
+    The unified cached path carries profiles *by name* (so jobs stay
+    small and specs stay registry-validated); a caller-constructed
+    profile that differs from the built-in registered under its name
+    falls back to the direct, uncached path.
+    """
+    try:
+        if profile_by_name(profile.name) == profile:
+            return profile.name
+    except ConfigError:
+        pass
+    return None
+
+
 def compare_schemes(
     profile: ChipProfile,
     scheme_keys: Sequence[str] = SCHEME_KEYS,
@@ -84,8 +121,23 @@ def compare_schemes(
     mispredict_rate: float = 0.0,
     executor: Optional[Any] = None,
     engine: str = "auto",
+    cache: Optional[Any] = None,
+    cache_dir: Optional[Any] = None,
+    runner: Optional[Any] = None,
 ) -> SchemeComparison:
     """Run the Figure 13 campaign: one block set per erase scheme.
+
+    A thin shim over the unified spec path: for a built-in chip
+    profile the call builds a :class:`~repro.lifetime.spec.
+    LifetimeSpec` and runs its jobs through
+    :meth:`~repro.harness.runner.GridRunner.execute_jobs`, so flag
+    calls, ``compare --spec`` files, and orchestrated campaigns share
+    one cache entry per (scheme, profile) fingerprint. Pass ``cache``
+    (any :class:`~repro.harness.store.ResultStore`) or ``cache_dir``
+    to persist curves and crash-resume, or a pre-built ``runner`` to
+    share its cache and stats across calls. Ad-hoc
+    :class:`ChipProfile` objects keep the direct path (no cache — an
+    unnamed profile has no stable fingerprint).
 
     Each scheme's block set cycles independently, so the campaign fans
     out across an executor from :mod:`repro.harness.executors` — pass
@@ -105,6 +157,33 @@ def compare_schemes(
     """
     for key in scheme_keys:
         SCHEMES.get(key)
+    profile_name = _builtin_profile_name(profile)
+    if profile_name is not None:
+        # Unified path: LifetimeSpec -> LifetimeJob -> GridRunner.
+        from repro.harness.runner import GridRunner
+        from repro.lifetime.spec import LifetimeSpec
+
+        spec = LifetimeSpec(
+            schemes=tuple(scheme_keys),
+            profile=profile_name,
+            block_count=block_count,
+            step=step,
+            seed=seed,
+            max_pec=max_pec,
+            requirement=requirement,
+            mispredict_rate=float(mispredict_rate),
+            engine=engine,
+        )
+        if runner is None:
+            runner = GridRunner(
+                executor=executor, cache=cache, cache_dir=cache_dir
+            )
+        return spec.comparison(runner.execute_jobs(spec.jobs()))
+    if cache is not None or cache_dir is not None or runner is not None:
+        raise ConfigError(
+            f"profile {profile.name!r} is not a built-in chip profile; "
+            "curves for ad-hoc profiles cannot be cached"
+        )
     comparison = SchemeComparison(profile_name=profile.name)
     jobs = [
         _CurveJob(
@@ -136,28 +215,75 @@ def misprediction_sensitivity(
     step: int = 50,
     seed: int = 0xAE20,
     engine: str = "auto",
+    executor: Optional[Any] = None,
+    cache: Optional[Any] = None,
+    cache_dir: Optional[Any] = None,
 ) -> Dict[float, Dict[str, LifetimeCurve]]:
     """Figure 16 (lifetime panel): inject forced mispredictions.
 
     Each misprediction costs one extra 0.5 ms erase pulse plus a
     verify-read; the paper finds AERO keeps ~40 % of its benefits even
     at a 20 % misprediction rate.
+
+    Runs through the cached :class:`~repro.lifetime.spec.LifetimeJob`
+    path for built-in profiles: jobs whose fingerprints coincide
+    across sweep points (the misprediction rate only perturbs the
+    aero schemes, so every non-aero curve is shared) execute once and
+    fan out to every rate; pass ``cache``/``cache_dir`` to also reuse
+    curves across sessions.
     """
-    results: Dict[float, Dict[str, LifetimeCurve]] = {}
-    for rate in rates:
-        results[rate] = {}
-        for key in scheme_keys:
-            simulator = LifetimeSimulator(
-                profile,
-                key,
-                block_count=block_count,
-                step=step,
-                seed=seed,
-                mispredict_rate=rate,
-                engine=engine,
-            )
-            results[rate][key] = simulator.run()
-    return results
+    if _builtin_profile_name(profile) is None:
+        results: Dict[float, Dict[str, LifetimeCurve]] = {}
+        for rate in rates:
+            results[rate] = {}
+            for key in scheme_keys:
+                simulator = LifetimeSimulator(
+                    profile,
+                    key,
+                    block_count=block_count,
+                    step=step,
+                    seed=seed,
+                    mispredict_rate=rate,
+                    engine=engine,
+                )
+                results[rate][key] = simulator.run()
+        return results
+    from repro.harness.runner import GridRunner
+    from repro.lifetime.spec import LifetimeSpec
+
+    point_jobs = {
+        rate: LifetimeSpec(
+            schemes=tuple(scheme_keys),
+            profile=profile.name,
+            block_count=block_count,
+            step=step,
+            seed=seed,
+            mispredict_rate=float(rate),
+            engine=engine,
+        ).jobs()
+        for rate in rates
+    }
+    # Deduplicate by fingerprint across the whole sweep, then execute
+    # each distinct curve exactly once.
+    unique = {}
+    for jobs in point_jobs.values():
+        for job in jobs:
+            unique.setdefault(job.fingerprint, job)
+    runner = GridRunner(executor=executor, cache=cache, cache_dir=cache_dir)
+    ordered = list(unique.values())
+    curves = dict(
+        zip(
+            (job.fingerprint for job in ordered),
+            runner.execute_jobs(ordered),
+        )
+    )
+    return {
+        rate: {
+            key: curves[job.fingerprint]
+            for key, job in zip(scheme_keys, jobs)
+        }
+        for rate, jobs in point_jobs.items()
+    }
 
 
 def requirement_sensitivity(
@@ -168,6 +294,9 @@ def requirement_sensitivity(
     step: int = 50,
     seed: int = 0xAE20,
     engine: str = "auto",
+    executor: Optional[Any] = None,
+    cache: Optional[Any] = None,
+    cache_dir: Optional[Any] = None,
 ) -> Dict[int, SchemeComparison]:
     """Figure 17 (lifetime panel): weaker ECC shrinks the margin.
 
@@ -175,7 +304,25 @@ def requirement_sensitivity(
     skips), and every scheme's lifetime is evaluated against the same
     requirement — Baseline and AEROcons lose lifetime too, exactly as
     the paper notes.
+
+    For built-in profiles every point runs through one shared
+    :class:`~repro.harness.runner.GridRunner` on the cached
+    :class:`~repro.lifetime.spec.LifetimeJob` path, so re-running a
+    sweep (or widening it) against a ``cache``/``cache_dir`` only
+    computes the curves it has never seen.
     """
+    runner = None
+    if _builtin_profile_name(profile) is not None:
+        from repro.harness.runner import GridRunner
+
+        runner = GridRunner(
+            executor=executor, cache=cache, cache_dir=cache_dir
+        )
+    elif cache is not None or cache_dir is not None:
+        raise ConfigError(
+            f"profile {profile.name!r} is not a built-in chip profile; "
+            "curves for ad-hoc profiles cannot be cached"
+        )
     results: Dict[int, SchemeComparison] = {}
     for requirement in requirements:
         results[requirement] = compare_schemes(
@@ -186,5 +333,7 @@ def requirement_sensitivity(
             seed=seed,
             requirement=requirement,
             engine=engine,
+            executor=executor,
+            runner=runner,
         )
     return results

@@ -17,7 +17,7 @@ five-scheme sweep take seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -58,6 +58,28 @@ class LifetimeCurve:
         if not self.lifetime_pec or not baseline.lifetime_pec:
             raise ConfigError("both curves must have crossed the requirement")
         return self.lifetime_pec / baseline.lifetime_pec - 1.0
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Serialize to plain JSON types; exact round-trip via
+        :meth:`from_json_dict` (floats survive bit-identically)."""
+        return {
+            "scheme": self.scheme,
+            "pec_points": list(self.pec_points),
+            "avg_mrber": [float(value) for value in self.avg_mrber],
+            "lifetime_pec": self.lifetime_pec,
+            "requirement": float(self.requirement),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "LifetimeCurve":
+        lifetime_pec = data["lifetime_pec"]
+        return cls(
+            scheme=str(data["scheme"]),
+            pec_points=[int(value) for value in data["pec_points"]],
+            avg_mrber=[float(value) for value in data["avg_mrber"]],
+            lifetime_pec=None if lifetime_pec is None else int(lifetime_pec),
+            requirement=float(data["requirement"]),
+        )
 
 
 class LifetimeSimulator:

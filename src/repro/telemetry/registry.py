@@ -30,7 +30,16 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigError
 
@@ -143,6 +152,37 @@ class HistogramChild(_Child):
                 if count:
                     self._counts[index] += int(count)
             self._sum += total
+
+    def merge_cumulative(
+        self, buckets: Sequence[Sequence[Any]], total: float
+    ) -> None:
+        """Fold another histogram's snapshot buckets into this child.
+
+        ``buckets`` is the :meth:`MetricFamily.snapshot` shape —
+        ``[le_text, cumulative_count]`` pairs ending at ``"+Inf"`` —
+        so counts are de-cumulated back into per-slot deltas before
+        adding; merging N worker snapshots is therefore exact, not
+        approximate.
+        """
+        if len(buckets) != len(self._counts):
+            raise ConfigError(
+                f"cannot merge a histogram snapshot with {len(buckets)} "
+                f"buckets into one with {len(self._counts)}"
+            )
+        deltas: List[int] = []
+        previous = 0
+        for _, cumulative in buckets:
+            cumulative = int(cumulative)
+            if cumulative < previous:
+                raise ConfigError(
+                    "histogram snapshot buckets must be cumulative"
+                )
+            deltas.append(cumulative - previous)
+            previous = cumulative
+        with self._lock:
+            for index, delta in enumerate(deltas):
+                self._counts[index] += delta
+            self._sum += float(total)
 
     @property
     def sum(self) -> float:
@@ -321,6 +361,13 @@ def _le_text(bound: float) -> str:
     return repr(bound)
 
 
+def _le_value(text: str) -> float:
+    """Inverse of :func:`_le_text`: bucket bound from ``le`` text."""
+    if text == "+Inf":
+        return math.inf
+    return float(text)
+
+
 class MetricsRegistry:
     """A named collection of metric families with get-or-create access.
 
@@ -420,6 +467,69 @@ class MetricsRegistry:
             "snapshot_version": 1,
             "metrics": [family.snapshot() for family in self.collect()],
         }
+
+    def merge_snapshot(self, snapshot: Optional[Mapping[str, Any]]) -> None:
+        """Fold a child registry's :meth:`snapshot` into this registry.
+
+        The coordinator-side half of cross-process telemetry: a
+        process-pool worker runs its jobs under a fresh registry (see
+        :func:`repro.telemetry.scoped_registry`), snapshots it, and
+        ships the snapshot home alongside the result. Merging *adds*
+        counter values and de-cumulated histogram buckets (so N worker
+        snapshots sum exactly), *sets* gauges (point-in-time values),
+        and creates any family or child this registry has not yet
+        seen. ``None`` and empty snapshots are no-ops; a family whose
+        declaration conflicts with an existing one (type, labels,
+        bucket layout) raises :class:`~repro.errors.ConfigError`, as a
+        direct re-declaration would.
+        """
+        if not snapshot:
+            return
+        for metric in snapshot.get("metrics", ()):
+            name = metric["name"]
+            kind = metric["type"]
+            help_text = metric.get("help", "")
+            label_names = tuple(metric.get("label_names", ()))
+            samples = metric.get("samples", ())
+            if kind == "histogram":
+                live = [
+                    sample
+                    for sample in samples
+                    if int(sample.get("count", 0)) > 0
+                ]
+                if not live:
+                    # Nothing observed: creating the family here would
+                    # pin bucket bounds nobody chose.
+                    continue
+                bounds = tuple(
+                    _le_value(text)
+                    for text, _ in live[0]["buckets"]
+                    if text != "+Inf"
+                )
+                family = self.histogram(
+                    name, help_text, label_names, buckets=bounds
+                )
+                for sample in live:
+                    child = family.labels(**sample["labels"])
+                    child.merge_cumulative(
+                        sample["buckets"], sample.get("sum", 0.0)
+                    )
+            elif kind == "counter":
+                family = self.counter(name, help_text, label_names)
+                for sample in samples:
+                    value = float(sample.get("value", 0.0))
+                    if value:
+                        family.labels(**sample["labels"]).inc(value)
+            elif kind == "gauge":
+                family = self.gauge(name, help_text, label_names)
+                for sample in samples:
+                    family.labels(**sample["labels"]).set(
+                        float(sample.get("value", 0.0))
+                    )
+            else:
+                raise ConfigError(
+                    f"cannot merge unknown metric type {kind!r}"
+                )
 
     def __len__(self) -> int:
         with self._lock:

@@ -541,3 +541,84 @@ def test_metrics_server_address_in_use_is_one_line():
     assert "cannot bind metrics endpoint" in message
     assert str(server.port) in message
     assert "\n" not in message
+
+
+# --- cross-process snapshot merging ------------------------------------------
+
+
+def test_merge_snapshot_adds_counters_and_decumulates_histograms():
+    child = MetricsRegistry()
+    child.counter("repro_test_total", "t", ["kind"]).labels(kind="a").inc(3)
+    child.gauge("repro_test_gauge", "g").set(7)
+    hist = child.histogram("repro_test_seconds", "h", buckets=[1.0, 2.0])
+    hist.observe(0.5)
+    hist.observe(1.5)
+    hist.observe(9.0)
+    parent = MetricsRegistry()
+    parent.merge_snapshot(child.snapshot())
+    parent.merge_snapshot(child.snapshot())  # merging is additive
+    families = families_of(parent)
+    assert families["repro_test_total"].value({"kind": "a"}) == 6
+    assert families["repro_test_gauge"].value() == 7
+    merged = parent.get("repro_test_seconds")._solo()
+    assert merged.count == 6
+    assert merged.sum == pytest.approx(22.0)
+    assert merged.cumulative_buckets() == [(1.0, 2), (2.0, 4), (math.inf, 6)]
+
+
+def test_merge_snapshot_skips_empty_histograms_and_none():
+    child = MetricsRegistry()
+    child.histogram("repro_test_seconds", "h", buckets=[1.0])
+    parent = MetricsRegistry()
+    parent.merge_snapshot(None)
+    parent.merge_snapshot({})
+    parent.merge_snapshot(child.snapshot())
+    # The unobserved histogram must not be created in the parent: that
+    # would pin bucket bounds nobody chose.
+    assert parent.get("repro_test_seconds") is None
+
+
+def test_process_executor_forwards_child_telemetry():
+    from repro.config import SsdSpec
+    from repro.harness import ProcessExecutor
+    from repro.harness.runner import CellJob, execute_job
+
+    spec = SsdSpec.small_test(seed=3)
+    jobs = [
+        CellJob(scheme="baseline", pec=0, workload="hm", spec=spec,
+                requests=120, erase_suspension=True, seed=1),
+        CellJob(scheme="aero", pec=0, workload="hm", spec=spec,
+                requests=120, erase_suspension=True, seed=2),
+    ]
+    with scoped_registry() as registry:
+        ProcessExecutor(2).map(execute_job, jobs)
+        replays = registry.get("repro_ssd_replays_total")
+        assert replays is not None and replays.value == 2
+        latency = registry.get("repro_ssd_latency_seconds")
+        assert latency is not None
+        assert sum(
+            sample["count"]
+            for sample in latency.snapshot()["samples"]
+        ) > 0
+
+
+def test_supervised_process_worker_forwards_child_telemetry(tmp_path):
+    from repro.campaign.supervisor import CellSupervisor
+    from repro.config import SsdSpec
+    from repro.harness.runner import CellJob
+
+    job = CellJob(
+        scheme="aero", pec=0, workload="hm",
+        spec=SsdSpec.small_test(seed=3), requests=120,
+        erase_suspension=True, seed=1,
+    )
+    with scoped_registry() as registry:
+        supervisor = CellSupervisor(process_workers=1, thread_workers=1)
+        try:
+            supervisor.submit(0, job, "process")
+            outcome = supervisor.next_outcome()
+        finally:
+            supervisor.close()
+        assert outcome.kind == "done"
+        replays = registry.get("repro_ssd_replays_total")
+        assert replays is not None and replays.value == 1
